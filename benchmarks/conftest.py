@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Trained models
+are cached in a session-wide :class:`repro.eval.harness.ExperimentContext`, so
+the expensive training runs are shared across benchmarks.  Select the
+fidelity/wall-clock trade-off with ``REPRO_BENCH_PROFILE`` (``quick`` default,
+``full`` for longer schedules, ``smoke`` for CI-style smoke runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import get_profile, global_context
+
+
+def pytest_report_header(config):
+    profile = get_profile()
+    return f"repro benchmark profile: {profile.name}"
+
+
+@pytest.fixture(scope="session")
+def context():
+    """Session-wide experiment context with cached trained models."""
+    return global_context(get_profile())
+
+
+@pytest.fixture(scope="session")
+def dataset_name():
+    """The dataset every benchmark defaults to (the paper's XA dataset analogue)."""
+    return "xa_like"
+
+
+def print_tables(*tables) -> None:
+    """Print result tables so the benchmark output mirrors the paper artefact."""
+    for table in tables:
+        print()
+        print(table.to_text())

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 1 (per-task radar chart of BIGCity vs best baseline)."""
+
+from repro.eval.experiments import BIGCITY_NAME, run_fig1_radar
+
+from conftest import print_tables
+
+
+def test_fig1_radar(benchmark, context, dataset_name):
+    table = benchmark.pedantic(
+        lambda: run_fig1_radar(context, dataset_name),
+        rounds=1,
+        iterations=1,
+    )
+    print_tables(table)
+
+    row = table.rows[BIGCITY_NAME]
+    # The radar chart has one axis per evaluated task; with traffic states
+    # available there are eight axes as in the paper's Figure 1.
+    assert len(row) >= 5
+    assert all(value > 0 for value in row.values())
+    # Shape check: the single multi-task model matches or beats the best
+    # task-specific baseline (value >= 0.9) on at least two axes, and is never
+    # off the chart (every axis stays above 3% of the best baseline).  The
+    # paper's fully dominant radar relies on a pretrained GPT-2 and millions
+    # of trajectories; see EXPERIMENTS.md for the discussion.
+    competitive = sum(1 for value in row.values() if value >= 0.9)
+    assert competitive >= 2
+    assert all(value >= 0.03 for value in row.values())

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 5 (LoRA rank / coverage sensitivity)."""
+
+from repro.eval.experiments import run_fig5_lora_sensitivity
+
+from conftest import print_tables
+
+
+def test_fig5_lora_sensitivity(benchmark, context, dataset_name):
+    ranks = (4, 8, 16)
+    coverages = (1.0,)
+    table = benchmark.pedantic(
+        lambda: run_fig5_lora_sensitivity(context, dataset_name, ranks=ranks, coverages=coverages),
+        rounds=1,
+        iterations=1,
+    )
+    print_tables(table)
+
+    assert len(table.rows) == len(ranks) * len(coverages)
+    for row in table.rows.values():
+        assert {"tte_mae", "next_acc", "simi_hr@1"} <= set(row)
+        assert row["tte_mae"] >= 0
+
+    # Shape check mirroring Fig. 5: full LoRA coverage (n=1) should not be
+    # worse than half coverage on the majority of metrics at the chosen rank.
+    full = table.rows.get("lora_r8_n1")
+    half = table.rows.get("lora_r8_n0.5")
+    if full and half:
+        better = 0
+        better += int(full["tte_mae"] <= half["tte_mae"] * 1.5)
+        better += int(full["next_acc"] >= half["next_acc"] * 0.5)
+        better += int(full["simi_hr@5"] >= half["simi_hr@5"] * 0.5)
+        assert better >= 2

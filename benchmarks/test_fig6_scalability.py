@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 6 (efficiency and scalability)."""
+
+from repro.eval.experiments import BIGCITY_NAME, run_fig6_scalability
+
+from conftest import print_tables
+
+
+def test_fig6_scalability(benchmark, context, dataset_name):
+    result = benchmark.pedantic(
+        lambda: run_fig6_scalability(context, dataset_name),
+        rounds=1,
+        iterations=1,
+    )
+    print_tables(result["inference_time"], result["search_time"], result["mean_rank"])
+
+    inference = result["inference_time"].rows[BIGCITY_NAME]
+    sizes = sorted(inference, key=lambda key: int(key.split("=")[1]))
+    times = [inference[key] for key in sizes]
+    # Shape check (Fig. 6a): inference cost grows roughly linearly — the cost
+    # per sample must not explode as the input grows.
+    assert times[-1] >= times[0] * 0.5
+    per_sample = [time / int(size.split("=")[1]) for size, time in zip(sizes, times)]
+    assert per_sample[-1] <= per_sample[0] * 3.0
+
+    # Shape check (Fig. 6b): classical measures slow down with database size
+    # much faster than embedding search does.
+    search = result["search_time"].rows
+    db_keys = sorted(search[BIGCITY_NAME], key=lambda key: int(key.split("=")[1]))
+    if "dtw" in search and len(db_keys) >= 2:
+        dtw_growth = search["dtw"][db_keys[-1]] / max(search["dtw"][db_keys[0]], 1e-9)
+        big_growth = search[BIGCITY_NAME][db_keys[-1]] / max(search[BIGCITY_NAME][db_keys[0]], 1e-9)
+        assert dtw_growth >= big_growth * 0.5
+
+    # Shape check (Fig. 6c): mean rank stays bounded for BIGCity.
+    ranks = result["mean_rank"].rows[BIGCITY_NAME]
+    assert all(value >= 1.0 for value in ranks.values())

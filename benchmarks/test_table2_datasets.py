@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table II (dataset statistics)."""
+
+from repro.eval.experiments import run_table2_dataset_statistics
+
+from conftest import print_tables
+
+
+def test_table2_dataset_statistics(benchmark, context):
+    table = benchmark.pedantic(
+        lambda: run_table2_dataset_statistics(context),
+        rounds=1,
+        iterations=1,
+    )
+    print_tables(table)
+    rows = table.rows
+    assert set(rows) == {"bj_like", "xa_like", "cd_like"}
+    # Shape check against Table II: BJ is the largest city and has no
+    # dynamic traffic-state features.
+    assert rows["bj_like"]["road_segments"] >= rows["xa_like"]["road_segments"]
+    assert rows["bj_like"]["has_dynamic_features"] == 0.0
+    assert rows["xa_like"]["has_dynamic_features"] == 1.0

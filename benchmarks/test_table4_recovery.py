@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table IV (trajectory recovery at several mask ratios)."""
+
+from repro.eval.experiments import BIGCITY_NAME, run_table4_recovery
+
+from conftest import print_tables
+
+
+def test_table4_recovery(benchmark, context, dataset_name):
+    table = benchmark.pedantic(
+        lambda: run_table4_recovery(context, dataset_name, mask_ratios=(0.85, 0.90, 0.95)),
+        rounds=1,
+        iterations=1,
+    )
+    print_tables(table)
+
+    assert BIGCITY_NAME in table.rows
+    assert len(table.rows) >= 3
+
+    # Shape checks shared with the paper: recovering gets harder as the mask
+    # ratio grows, for every method.
+    for model, row in table.rows.items():
+        if all(f"acc@{m}" in row for m in (85, 95)):
+            assert row["acc@95"] <= row["acc@85"] + 0.05, f"{model} does not degrade with mask ratio"
+
+    # Learned or graph-aware methods should beat naive linear interpolation.
+    if "linear_hmm" in table.rows:
+        best_acc = max(row.get("acc@85", 0.0) for name, row in table.rows.items() if name != "linear_hmm")
+        assert best_acc >= table.rows["linear_hmm"].get("acc@85", 0.0)

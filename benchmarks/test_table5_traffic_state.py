@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table V (traffic-state prediction and imputation)."""
+
+from repro.eval.experiments import BIGCITY_NAME, run_table5_traffic_state
+
+from conftest import print_tables
+
+
+def test_table5_traffic_state(benchmark, context, dataset_name):
+    tables = benchmark.pedantic(
+        lambda: run_table5_traffic_state(context, dataset_name),
+        rounds=1,
+        iterations=1,
+    )
+    print_tables(*tables.values())
+
+    for table in tables.values():
+        assert BIGCITY_NAME in table.rows
+        assert len(table.rows) >= 3
+        for row in table.rows.values():
+            assert all(value >= 0 for value in row.values())
+
+    # Shape check shared with the paper: multi-step forecasting is harder
+    # than one-step forecasting for the overwhelming majority of models.
+    harder = 0
+    total = 0
+    for model in tables["one_step"].rows:
+        one = tables["one_step"].rows[model].get("mae")
+        multi = tables["multi_step"].rows.get(model, {}).get("mae")
+        if one is not None and multi is not None:
+            total += 1
+            if multi >= one * 0.95:
+                harder += 1
+    assert total > 0 and harder >= total // 2

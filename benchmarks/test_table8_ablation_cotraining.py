@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table VIII (multi-task co-training ablation)."""
+
+from repro.eval.experiments import run_table8_cotraining_ablations
+
+from conftest import print_tables
+
+
+def test_table8_cotraining_ablations(benchmark, context, dataset_name):
+    table = benchmark.pedantic(
+        lambda: run_table8_cotraining_ablations(context, dataset_name),
+        rounds=1,
+        iterations=1,
+    )
+    print_tables(table)
+
+    assert set(table.rows) >= {"next_only", "tte_only", "ms_only", "ms+next", "tte+next", "all"}
+
+    # Single-task runs only report their own metric, as in the paper's table.
+    assert set(table.rows["next_only"]) == {"next_acc"}
+    assert set(table.rows["tte_only"]) == {"tte_mae"}
+    assert set(table.rows["ms_only"]) == {"ms_mape"}
+    # The co-trained run reports every metric.
+    assert set(table.rows["all"]) == {"next_acc", "tte_mae", "ms_mape"}
+    for row in table.rows.values():
+        assert all(value >= 0 for value in row.values())

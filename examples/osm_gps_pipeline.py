@@ -1,0 +1,74 @@
+"""The data-preparation pipeline behind the paper's datasets, end to end.
+
+Run with:
+
+    python examples/osm_gps_pipeline.py
+
+The paper's BJ/XA/CD datasets are built by (1) extracting a road network from
+OpenStreetMap and (2) map-matching raw GPS trajectories onto it.  This
+example exercises exactly that pipeline on synthetic data (it runs in
+seconds, no model training involved):
+
+1. generate a synthetic city and export it as OSM XML,
+2. re-import the OSM file into a road network,
+3. render segment-level trajectories as noisy GPS traces,
+4. map-match the traces back onto the network with the HMM matcher,
+5. report how much of the original path the matcher recovers at different
+   GPS noise levels.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.data.gps import map_match_trace, trajectory_to_gps
+from repro.roadnet.osm import load_osm, save_osm
+
+
+def path_overlap(original, recovered) -> float:
+    """Fraction of the original segments that reappear in the recovered path."""
+    original_set = set(original.segments)
+    recovered_set = set(recovered.segments)
+    return len(original_set & recovered_set) / len(original_set)
+
+
+def main() -> None:
+    dataset = load_dataset("xa_like", seed=0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        osm_path = Path(tmp) / "xa_like.osm"
+        save_osm(dataset.network, osm_path)
+        print(f"exported the XA-like road network to {osm_path.name} "
+              f"({osm_path.stat().st_size / 1024:.1f} KiB of OSM XML)")
+
+        network = load_osm(osm_path)
+        print(f"re-imported {network.num_segments} road segments "
+              f"(original: {dataset.network.num_segments}); "
+              f"strongly connected: {network.is_strongly_connected()}")
+
+    print("\nGPS rendering + HMM map matching on 20 trajectories:")
+    trajectories = [t for t in dataset.test_trajectories if len(t) >= 5][:20]
+    for noise_km in (0.0, 0.02, 0.05, 0.1):
+        overlaps = []
+        for trajectory in trajectories:
+            trace = trajectory_to_gps(
+                trajectory, dataset.network, points_per_segment=2, noise_sigma_km=noise_km, seed=trajectory.trajectory_id
+            )
+            recovered = map_match_trace(trace, dataset.network)
+            overlaps.append(path_overlap(trajectory, recovered))
+        print(f"  GPS noise sigma {noise_km * 1000:5.0f} m -> "
+              f"mean path overlap {np.mean(overlaps):.2f} "
+              f"(min {np.min(overlaps):.2f}, max {np.max(overlaps):.2f})")
+
+    print(
+        "\nThe overlap degrades gracefully with the GPS noise level — the same "
+        "behaviour the map-matching step of the paper's preprocessing relies on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""POIs and grid cells: the spatial elements named as BIGCity's future work.
+
+Run with:
+
+    python examples/poi_grid_extension.py
+
+The paper closes by noting that BIGCity "focused solely on road segments,
+excluding other spatial elements such as POIs and grids".  This example shows
+the substrate this repository provides for that direction (no training
+involved, it runs in seconds):
+
+1. generate a synthetic city and scatter POIs along its road segments,
+2. build POI-category features per segment (a drop-in extension of the
+   static feature vector of Definition 1),
+3. partition the city into a grid and aggregate segment-level traffic states
+   into cell-level series,
+4. project a trajectory from the segment domain into the grid domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.roadnet.poi import GridPartition, POIRegistry
+
+
+def main() -> None:
+    dataset = load_dataset("xa_like", seed=0)
+    network = dataset.network
+    print(f"XA-like city: {network.num_segments} road segments")
+
+    print("\n--- POIs -----------------------------------------------------------")
+    registry = POIRegistry.generate(network, pois_per_segment=1.5, seed=0)
+    print(f"generated {len(registry)} POIs")
+    for category, count in sorted(registry.category_counts().items(), key=lambda kv: -kv[1]):
+        print(f"  {category:12s} {count}")
+
+    features = registry.segment_category_features()
+    richest = int(np.argmax(features.sum(axis=1)))
+    print(f"segment with the most POIs: {richest} ({int(features[richest].sum())} POIs)")
+    print("its POI mix:", {c: int(n) for c, n in zip(registry.category_counts(), features[richest]) if n})
+
+    centre = network.segment(richest).midpoint
+    nearest_hospital = registry.nearest(centre, category="hospital")
+    if nearest_hospital is not None:
+        print(f"nearest hospital to that segment: {nearest_hospital.name} on segment {nearest_hospital.segment_id}")
+
+    print("\n--- Grid partition ---------------------------------------------------")
+    grid = GridPartition(network, rows=4, cols=4)
+    occupancy = grid.occupancy()
+    print(f"{grid.num_cells} cells; segments per cell:")
+    for row in occupancy:
+        print("  " + " ".join(f"{int(count):3d}" for count in row))
+
+    print("\n--- Grid-level traffic states ----------------------------------------")
+    cell_series = grid.aggregate_traffic(dataset.traffic_states)
+    busiest = int(np.argmax(cell_series[:, :, 0].mean(axis=1) * (occupancy.reshape(-1) > 0)))
+    speeds = cell_series[busiest, :8, 0]
+    print(f"cell {busiest} mean speed over the first 8 slices (km/h): {np.round(speeds, 1)}")
+
+    print("\n--- A trajectory in the grid domain -----------------------------------")
+    trajectory = max(dataset.trajectories, key=len)
+    cells = grid.cell_trajectory(trajectory.segments)
+    print(f"trajectory {trajectory.trajectory_id}: {len(trajectory)} segments -> {len(cells)} grid cells")
+    print(f"  segment path: {trajectory.segments[:12]} ...")
+    print(f"  cell path:    {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The execution environment ships an older setuptools without the ``wheel``
+package, so PEP 517 editable installs (which build an editable wheel) fail.
+Keeping a ``setup.py`` allows ``pip install -e . --no-use-pep517`` and plain
+``python setup.py develop`` to work offline; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,31 @@
+"""BIGCity reproduction library.
+
+``repro`` implements the BIGCity universal spatiotemporal model (ICDE 2025)
+together with every substrate it depends on:
+
+* :mod:`repro.nn` — a NumPy neural-network runtime (autograd, transformer,
+  GAT, LoRA, optimisers).
+* :mod:`repro.roadnet` — road-network representation and synthetic city
+  generators.
+* :mod:`repro.data` — trajectories, traffic states, the mobility simulator
+  that stands in for the BJ/XA/CD datasets, loaders and map matching.
+* :mod:`repro.core` — the paper's contribution: ST-units, the spatiotemporal
+  tokenizer, task-oriented prompts, the LoRA-adapted causal backbone, the
+  general task heads and the two-stage training procedure.
+* :mod:`repro.tasks` — the eight evaluation tasks and their metrics.
+* :mod:`repro.baselines` — re-implementations of the 18+ comparison methods.
+* :mod:`repro.eval` — the experiment harness regenerating every table and
+  figure of the paper's evaluation section.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "roadnet",
+    "data",
+    "core",
+    "tasks",
+    "baselines",
+    "eval",
+]

@@ -1,0 +1,92 @@
+"""Baseline models compared against BIGCity in the paper's evaluation.
+
+Three families, mirroring Sec. VII-A "Baselines":
+
+* :mod:`repro.baselines.trajectory` — seven trajectory representation models
+  (Trajectory2vec, t2vec, TremBR, Toast, JCLRNT, START, JGRM).
+* :mod:`repro.baselines.traffic` — seven traffic-state models (DCRNN, GWNET,
+  MTGNN, TrGNN, STGODE, ST-Norm, SSTBAN).
+* :mod:`repro.baselines.recovery` — four trajectory-recovery methods
+  (Linear+HMM, DTHR+HMM, MTrajRec, RNTrajRec).
+* :mod:`repro.baselines.similarity` — classical similarity measures (DTW,
+  LCSS, Fréchet, EDR) used in the scalability study (Fig. 6).
+
+Each re-implementation keeps the defining mechanism of the original method at
+a CPU-friendly scale; see DESIGN.md for the per-model summary.
+"""
+
+from repro.baselines.trajectory import (
+    TrajectoryBaseline,
+    Trajectory2Vec,
+    T2Vec,
+    TremBR,
+    Toast,
+    JCLRNT,
+    START,
+    JGRM,
+    TRAJECTORY_BASELINES,
+    build_trajectory_baseline,
+)
+from repro.baselines.traffic import (
+    TrafficBaseline,
+    DCRNN,
+    GWNET,
+    MTGNN,
+    TrGNN,
+    STGODE,
+    STNorm,
+    SSTBAN,
+    TRAFFIC_BASELINES,
+    build_traffic_baseline,
+)
+from repro.baselines.recovery import (
+    LinearHMMRecovery,
+    DTHRHMMRecovery,
+    MTrajRec,
+    RNTrajRec,
+    RECOVERY_BASELINES,
+    build_recovery_baseline,
+)
+from repro.baselines.similarity import (
+    ClassicalSimilarity,
+    dtw_distance,
+    lcss_distance,
+    frechet_distance,
+    edr_distance,
+    CLASSICAL_SIMILARITY_MEASURES,
+)
+
+__all__ = [
+    "TrajectoryBaseline",
+    "Trajectory2Vec",
+    "T2Vec",
+    "TremBR",
+    "Toast",
+    "JCLRNT",
+    "START",
+    "JGRM",
+    "TRAJECTORY_BASELINES",
+    "build_trajectory_baseline",
+    "TrafficBaseline",
+    "DCRNN",
+    "GWNET",
+    "MTGNN",
+    "TrGNN",
+    "STGODE",
+    "STNorm",
+    "SSTBAN",
+    "TRAFFIC_BASELINES",
+    "build_traffic_baseline",
+    "LinearHMMRecovery",
+    "DTHRHMMRecovery",
+    "MTrajRec",
+    "RNTrajRec",
+    "RECOVERY_BASELINES",
+    "build_recovery_baseline",
+    "ClassicalSimilarity",
+    "dtw_distance",
+    "lcss_distance",
+    "frechet_distance",
+    "edr_distance",
+    "CLASSICAL_SIMILARITY_MEASURES",
+]

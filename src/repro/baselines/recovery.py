@@ -1,0 +1,245 @@
+"""Trajectory-recovery baselines (Table IV).
+
+* **Linear+HMM** — positions of the missing samples are linearly interpolated
+  between the observed samples, then snapped to road segments with an HMM map
+  matcher (Hoteit et al., 2014).
+* **DTHR+HMM** — like Linear+HMM but the interpolation follows the road-graph
+  shortest path between observed samples (distance-threshold heuristic).
+* **MTrajRec** — GRU seq2seq: encode the observed low-rate trajectory, decode
+  a segment id for every missing position (Ren et al., 2021).
+* **RNTrajRec** — transformer encoder over the observed samples with
+  road-network-enhanced segment embeddings (adjacency-propagated), decoding
+  as in MTrajRec (Chen et al., 2023).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.data.datasets import CityDataset
+from repro.data.mapmatch import HMMMapMatcher
+from repro.data.trajectory import Trajectory, subsample_trajectory
+from repro.nn import losses
+from repro.nn.gat import normalized_adjacency
+from repro.nn.layers import Embedding, Linear, MLP
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.rnn import GRU
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.transformer import TransformerEncoder
+from repro.tasks.decoding import constrained_recovery_choice, gap_candidates
+
+
+# ----------------------------------------------------------------------
+# Rule-based methods
+# ----------------------------------------------------------------------
+class _InterpolateHMMRecovery:
+    """Shared implementation of the interpolation + HMM map-matching recovery."""
+
+    interpolation_mode = "linear"
+    name = "interp_hmm"
+
+    def __init__(self, dataset: CityDataset, **matcher_kwargs) -> None:
+        self.dataset = dataset
+        self.matcher = HMMMapMatcher(dataset.network, **matcher_kwargs)
+
+    def fit(self) -> None:
+        """Rule-based methods need no training; present for interface parity."""
+
+    def recover(self, trajectory: Trajectory, kept_indices: np.ndarray) -> np.ndarray:
+        kept = np.asarray(sorted(int(i) for i in kept_indices))
+        known_segments = [trajectory.segments[i] for i in kept]
+        counts_between = [int(b - a - 1) for a, b in zip(kept[:-1], kept[1:])]
+        positions = self.matcher.interpolate_positions(
+            known_segments, counts_between, mode=self.interpolation_mode
+        )
+        matched = self.matcher.match(positions)
+        # ``positions``/``matched`` cover every original index in order; pick the missing ones.
+        missing = np.setdiff1d(np.arange(len(trajectory)), kept)
+        index_of_position = {original: row for row, original in enumerate(self._original_indices(kept, counts_between))}
+        return np.array([matched[index_of_position[int(i)]] for i in missing], dtype=np.int64)
+
+    @staticmethod
+    def _original_indices(kept: np.ndarray, counts_between: Sequence[int]) -> List[int]:
+        """Original trajectory index of every interpolated position, in order."""
+        order: List[int] = []
+        for pair, count in enumerate(counts_between):
+            order.append(int(kept[pair]))
+            order.extend(range(int(kept[pair]) + 1, int(kept[pair]) + 1 + count))
+        order.append(int(kept[-1]))
+        return order
+
+
+class LinearHMMRecovery(_InterpolateHMMRecovery):
+    """Straight-line interpolation between observed samples + HMM matching."""
+
+    interpolation_mode = "linear"
+    name = "linear_hmm"
+
+
+class DTHRHMMRecovery(_InterpolateHMMRecovery):
+    """Shortest-path (distance-threshold) interpolation + HMM matching."""
+
+    interpolation_mode = "distance_threshold"
+    name = "dthr_hmm"
+
+
+# ----------------------------------------------------------------------
+# Learned methods
+# ----------------------------------------------------------------------
+class _Seq2SeqRecovery(Module):
+    """Shared encoder/decoder scaffolding for MTrajRec and RNTrajRec."""
+
+    name = "seq2seq"
+
+    def __init__(self, dataset: CityDataset, hidden_dim: int = 32, seed: int = 0) -> None:
+        super().__init__()
+        self.dataset = dataset
+        self.hidden_dim = hidden_dim
+        self.num_segments = dataset.num_segments
+        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+        self.segment_embedding = Embedding(self.num_segments, hidden_dim, rng=self._rng, std=0.5)
+        self._build_encoder()
+        # Decoder: [encoder summary || position fraction || neighbouring known segments]
+        decoder_in = hidden_dim + 1 + 2 * hidden_dim
+        self.decoder = MLP(decoder_in, [2 * hidden_dim], self.num_segments, rng=self._rng)
+
+    # -- architecture hooks ---------------------------------------------------
+    def _build_encoder(self) -> None:
+        raise NotImplementedError
+
+    def _encode_known(self, segment_ids: np.ndarray) -> Tensor:
+        """Encode the observed (kept) samples; returns ``(num_kept, hidden)``."""
+        raise NotImplementedError
+
+    # -- shared logic -----------------------------------------------------------
+    def _decoder_inputs(self, trajectory: Trajectory, kept: np.ndarray, encoded: Tensor) -> Tuple[Tensor, np.ndarray]:
+        """Assemble decoder inputs for every missing position."""
+        kept = np.asarray(sorted(int(i) for i in kept))
+        missing = np.setdiff1d(np.arange(len(trajectory)), kept)
+        summary = encoded.mean(axis=0)
+        rows = []
+        for position in missing:
+            previous_kept = kept[kept < position].max()
+            next_kept = kept[kept > position].min()
+            prev_row = int(np.where(kept == previous_kept)[0][0])
+            next_row = int(np.where(kept == next_kept)[0][0])
+            fraction = (position - previous_kept) / max(next_kept - previous_kept, 1)
+            rows.append(
+                Tensor.concat(
+                    [summary, Tensor(np.array([fraction])), encoded[prev_row], encoded[next_row]],
+                    axis=-1,
+                )
+            )
+        return Tensor.stack(rows, axis=0), missing
+
+    def fit(self, mask_ratios: Sequence[float] = (0.85, 0.90), epochs: int = 2, learning_rate: float = 3e-3, max_samples: int = 80) -> List[float]:
+        """Train on masked versions of the training trajectories."""
+        trajectories = [t for t in self.dataset.train_trajectories if len(t) >= 6]
+        if len(trajectories) > max_samples:
+            index = self._rng.choice(len(trajectories), size=max_samples, replace=False)
+            trajectories = [trajectories[i] for i in index]
+        optimizer = Adam(self.trainable_parameters(), lr=learning_rate)
+        history = []
+        for _ in range(epochs):
+            epoch_loss, count = 0.0, 0
+            for trajectory in trajectories:
+                ratio = float(self._rng.choice(mask_ratios))
+                _, kept = subsample_trajectory(trajectory, keep_ratio=1.0 - ratio, rng=self._rng)
+                encoded = self._encode_known(np.array([trajectory.segments[i] for i in kept]))
+                inputs, missing = self._decoder_inputs(trajectory, kept, encoded)
+                if len(missing) == 0:
+                    continue
+                targets = np.array([trajectory.segments[i] for i in missing])
+                optimizer.zero_grad()
+                loss = losses.cross_entropy(self.decoder(inputs), targets)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.item())
+                count += 1
+            history.append(epoch_loss / max(count, 1))
+        return history
+
+    def recover(
+        self, trajectory: Trajectory, kept_indices: np.ndarray, constrain_to_network: bool = True
+    ) -> np.ndarray:
+        kept = np.asarray(sorted(int(i) for i in kept_indices))
+        with no_grad():
+            encoded = self._encode_known(np.array([trajectory.segments[i] for i in kept]))
+            inputs, missing = self._decoder_inputs(trajectory, kept, encoded)
+            if len(missing) == 0:
+                return np.zeros(0, dtype=np.int64)
+            logits = self.decoder(inputs).data
+        if not constrain_to_network:
+            return np.argmax(logits, axis=-1)
+        # Map-constrained decoding: both MTrajRec and RNTrajRec restrict the
+        # recovered segment to candidates reachable between the surrounding
+        # observed samples on the road network.
+        recovered = []
+        for row, position in zip(logits, missing):
+            previous_kept = int(kept[kept < position].max())
+            next_kept = int(kept[kept > position].min())
+            candidates = gap_candidates(
+                self.dataset.network,
+                previous_segment=int(trajectory.segments[previous_kept]),
+                next_segment=int(trajectory.segments[next_kept]),
+                gap_length=next_kept - previous_kept - 1,
+            )
+            recovered.append(constrained_recovery_choice(row, candidates))
+        return np.asarray(recovered, dtype=np.int64)
+
+
+class MTrajRec(_Seq2SeqRecovery):
+    """GRU seq2seq map-constrained recovery."""
+
+    name = "mtrajrec"
+
+    def _build_encoder(self) -> None:
+        self.encoder = GRU(self.hidden_dim, self.hidden_dim, rng=self._rng)
+
+    def _encode_known(self, segment_ids: np.ndarray) -> Tensor:
+        embedded = self.segment_embedding(segment_ids).reshape(1, len(segment_ids), self.hidden_dim)
+        outputs, _ = self.encoder(embedded)
+        return outputs.reshape(len(segment_ids), self.hidden_dim)
+
+
+class RNTrajRec(_Seq2SeqRecovery):
+    """Road-network-enhanced transformer recovery."""
+
+    name = "rntrajrec"
+
+    def _build_encoder(self) -> None:
+        self.encoder = TransformerEncoder(
+            d_model=self.hidden_dim, num_layers=2, num_heads=2, max_position=256, seed=self.seed
+        )
+        self._propagation = normalized_adjacency(self.dataset.network.adjacency)
+
+    def _encode_known(self, segment_ids: np.ndarray) -> Tensor:
+        # Road-network enhancement: propagate the embedding table over the graph
+        # so each segment embedding carries neighbourhood context.
+        table = self.segment_embedding.weight
+        enhanced = Tensor(self._propagation).matmul(table) + table
+        embedded = enhanced.index_select(segment_ids, axis=0).reshape(1, len(segment_ids), self.hidden_dim)
+        return self.encoder(embedded).reshape(len(segment_ids), self.hidden_dim)
+
+
+#: Registry used by the benchmark harness.
+RECOVERY_BASELINES: Dict[str, type] = {
+    LinearHMMRecovery.name: LinearHMMRecovery,
+    DTHRHMMRecovery.name: DTHRHMMRecovery,
+    MTrajRec.name: MTrajRec,
+    RNTrajRec.name: RNTrajRec,
+}
+
+
+def build_recovery_baseline(name: str, dataset: CityDataset, seed: int = 0):
+    """Instantiate a recovery baseline by its registry name."""
+    if name not in RECOVERY_BASELINES:
+        raise KeyError(f"unknown recovery baseline {name!r}; available: {sorted(RECOVERY_BASELINES)}")
+    cls = RECOVERY_BASELINES[name]
+    if cls in (MTrajRec, RNTrajRec):
+        return cls(dataset, seed=seed)
+    return cls(dataset)

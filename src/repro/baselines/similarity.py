@@ -1,0 +1,108 @@
+"""Classical trajectory-similarity measures (Fig. 6 scalability study).
+
+DTW, LCSS, Fréchet distance and EDR operate directly on the coordinate
+sequences of trajectories (segment midpoints).  They need no training, but
+their query cost grows with both trajectory length and database size — which
+is exactly the scalability contrast the paper draws against embedding-based
+search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.data.trajectory import Trajectory
+from repro.roadnet.network import RoadNetwork
+
+
+def _pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between two coordinate sequences."""
+    return np.hypot(a[:, None, 0] - b[None, :, 0], a[:, None, 1] - b[None, :, 1])
+
+
+def dtw_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Dynamic time warping distance between coordinate sequences."""
+    costs = _pairwise_distances(a, b)
+    n, m = costs.shape
+    table = np.full((n + 1, m + 1), np.inf)
+    table[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            table[i, j] = costs[i - 1, j - 1] + min(table[i - 1, j], table[i, j - 1], table[i - 1, j - 1])
+    return float(table[n, m])
+
+
+def lcss_distance(a: np.ndarray, b: np.ndarray, epsilon: float = 0.3) -> float:
+    """1 - normalised longest common subsequence (lower = more similar)."""
+    costs = _pairwise_distances(a, b) <= epsilon
+    n, m = costs.shape
+    table = np.zeros((n + 1, m + 1))
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if costs[i - 1, j - 1]:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return float(1.0 - table[n, m] / min(n, m))
+
+
+def frechet_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Discrete Fréchet distance between coordinate sequences."""
+    costs = _pairwise_distances(a, b)
+    n, m = costs.shape
+    table = np.full((n, m), -1.0)
+    table[0, 0] = costs[0, 0]
+    for i in range(1, n):
+        table[i, 0] = max(table[i - 1, 0], costs[i, 0])
+    for j in range(1, m):
+        table[0, j] = max(table[0, j - 1], costs[0, j])
+    for i in range(1, n):
+        for j in range(1, m):
+            table[i, j] = max(min(table[i - 1, j], table[i - 1, j - 1], table[i, j - 1]), costs[i, j])
+    return float(table[n - 1, m - 1])
+
+
+def edr_distance(a: np.ndarray, b: np.ndarray, epsilon: float = 0.3) -> float:
+    """Edit distance on real sequences, normalised by the longer length."""
+    costs = _pairwise_distances(a, b) <= epsilon
+    n, m = costs.shape
+    table = np.zeros((n + 1, m + 1))
+    table[:, 0] = np.arange(n + 1)
+    table[0, :] = np.arange(m + 1)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            substitution = 0 if costs[i - 1, j - 1] else 1
+            table[i, j] = min(
+                table[i - 1, j - 1] + substitution,
+                table[i - 1, j] + 1,
+                table[i, j - 1] + 1,
+            )
+    return float(table[n, m] / max(n, m))
+
+
+#: name -> distance function over coordinate arrays
+CLASSICAL_SIMILARITY_MEASURES: Dict[str, Callable[[np.ndarray, np.ndarray], float]] = {
+    "dtw": dtw_distance,
+    "lcss": lcss_distance,
+    "frechet": frechet_distance,
+    "edr": edr_distance,
+}
+
+
+class ClassicalSimilarity:
+    """Adapter exposing a classical measure as a trajectory distance function."""
+
+    def __init__(self, network: RoadNetwork, method: str = "dtw") -> None:
+        if method not in CLASSICAL_SIMILARITY_MEASURES:
+            raise KeyError(f"unknown measure {method!r}; available: {sorted(CLASSICAL_SIMILARITY_MEASURES)}")
+        self.method = method
+        self._distance = CLASSICAL_SIMILARITY_MEASURES[method]
+        self._midpoints = np.array([s.midpoint for s in network.segments])
+
+    def coordinates(self, trajectory: Trajectory) -> np.ndarray:
+        return self._midpoints[trajectory.segment_array()]
+
+    def __call__(self, query: Trajectory, candidate: Trajectory) -> float:
+        return self._distance(self.coordinates(query), self.coordinates(candidate))

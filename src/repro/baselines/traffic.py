@@ -1,0 +1,427 @@
+"""Traffic-state prediction baselines (Table V).
+
+Each model consumes a history window of the whole-network traffic tensor,
+``(batch, segments, history, channels)``, encodes it with its characteristic
+spatial-temporal mechanism into per-segment hidden states, and decodes either
+a forecast (``horizon`` future steps per segment) or a reconstruction of the
+whole window (imputation mode).  The defining mechanisms:
+
+* **DCRNN** — diffusion-convolutional GRU over the road graph.
+* **GWNET** — gated temporal convolution + graph convolution with an
+  *adaptive* adjacency learned from node embeddings.
+* **MTGNN** — graph learned from node embeddings (top-k) + mix-hop
+  propagation.
+* **TrGNN** — propagation along the *trajectory transition* graph (transition
+  counts harvested from the training trajectories).
+* **STGODE** — continuous graph propagation integrated with explicit Euler
+  steps (a graph ODE).
+* **ST-Norm** — spatial and temporal normalisation branches feeding an MLP.
+* **SSTBAN** — self-supervised temporal bottleneck attention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.data.datasets import CityDataset
+from repro.data.loader import TrafficWindowSampler
+from repro.nn import losses
+from repro.nn.gat import normalized_adjacency, random_walk_matrix
+from repro.nn.layers import Linear, MLP
+from repro.nn.module import Module, Parameter
+from repro.nn import init
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+
+
+class TrafficBaseline(Module):
+    """Shared scaffolding: window sampling, normalisation, fit/predict/impute."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        dataset: CityDataset,
+        history: int = 6,
+        horizon: int = 6,
+        hidden_dim: int = 24,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if dataset.traffic_states is None:
+            raise ValueError(f"dataset {dataset.name!r} has no traffic states")
+        self.dataset = dataset
+        self.traffic = dataset.traffic_states
+        self.history = history
+        self.horizon = horizon
+        self.hidden_dim = hidden_dim
+        self.num_segments = self.traffic.num_segments
+        self.num_channels = self.traffic.num_channels
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        flat = self.traffic.values.reshape(-1, self.num_channels)
+        self._mean = flat.mean(axis=0)
+        std = flat.std(axis=0)
+        self._std = np.where(std < 1e-9, 1.0, std)
+        self.adjacency = dataset.network.adjacency.astype(np.float64)
+        self._build()
+        self.forecast_head = Linear(self.hidden_dim, self.horizon * self.num_channels, rng=self._rng)
+        self.imputation_head = Linear(self.hidden_dim, self.history * self.num_channels, rng=self._rng)
+
+    # -- architecture hook ---------------------------------------------------
+    def _build(self) -> None:
+        raise NotImplementedError
+
+    def _encode(self, x: Tensor) -> Tensor:
+        """Encode ``(batch, segments, history, channels)`` into ``(batch, segments, hidden)``."""
+        raise NotImplementedError
+
+    # -- normalisation ---------------------------------------------------------
+    def _normalise(self, values: np.ndarray) -> np.ndarray:
+        return (values - self._mean) / self._std
+
+    def _denormalise(self, values: np.ndarray) -> np.ndarray:
+        return values * self._std + self._mean
+
+    # -- training --------------------------------------------------------------
+    def fit(
+        self,
+        num_windows: int = 32,
+        epochs: int = 3,
+        batch_size: int = 4,
+        learning_rate: float = 3e-3,
+        train_fraction: float = 0.7,
+    ) -> List[float]:
+        """Train the forecasting head on windows from the temporal train split."""
+        sampler = TrafficWindowSampler(self.traffic, history=self.history, horizon=self.horizon, seed=self.seed)
+        low, high = sampler.valid_start_range("train", train_fraction)
+        starts = self._rng.integers(low, high, size=num_windows)
+        inputs, targets = self._windows_from_starts(starts)
+        optimizer = Adam(self.trainable_parameters(), lr=learning_rate)
+        history = []
+        for _ in range(epochs):
+            order = self._rng.permutation(len(starts))
+            epoch_loss, batches = 0.0, 0
+            for begin in range(0, len(order), batch_size):
+                index = order[begin : begin + batch_size]
+                optimizer.zero_grad()
+                hidden = self._encode(Tensor(inputs[index]))
+                prediction = self.forecast_head(hidden).reshape(
+                    len(index), self.num_segments, self.horizon, self.num_channels
+                )
+                loss = losses.mse_loss(prediction, targets[index])
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.item())
+                batches += 1
+            history.append(epoch_loss / max(batches, 1))
+        return history
+
+    def _windows_from_starts(self, starts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        values = self._normalise(self.traffic.values)
+        inputs = np.stack([values[:, s : s + self.history, :] for s in starts])
+        targets = np.stack([values[:, s + self.history : s + self.history + self.horizon, :] for s in starts])
+        return inputs, targets
+
+    # -- forecasting -------------------------------------------------------------
+    def predict(self, segment_id: int, start_slice: int, history: int, horizon: int) -> np.ndarray:
+        """Forecast ``horizon`` steps for one segment, in original units."""
+        if history != self.history:
+            raise ValueError(f"model was built for history={self.history}, got {history}")
+        values = self._normalise(self.traffic.values)
+        window = values[:, start_slice : start_slice + self.history, :][None]
+        with no_grad():
+            hidden = self._encode(Tensor(window))
+            prediction = self.forecast_head(hidden).reshape(
+                1, self.num_segments, self.horizon, self.num_channels
+            ).data
+        return self._denormalise(prediction[0, segment_id, :horizon])
+
+    # -- imputation ----------------------------------------------------------------
+    def fit_imputation(
+        self,
+        num_windows: int = 24,
+        epochs: int = 3,
+        batch_size: int = 4,
+        learning_rate: float = 3e-3,
+        mask_ratio: float = 0.25,
+    ) -> List[float]:
+        """Train the imputation head: reconstruct windows whose cells are masked."""
+        values = self._normalise(self.traffic.values)
+        max_start = max(self.traffic.num_slices - self.history, 1)
+        starts = self._rng.integers(0, max_start, size=num_windows)
+        optimizer = Adam(self.trainable_parameters(), lr=learning_rate)
+        history = []
+        for _ in range(epochs):
+            epoch_loss, batches = 0.0, 0
+            for begin in range(0, num_windows, batch_size):
+                chunk = starts[begin : begin + batch_size]
+                clean = np.stack([values[:, s : s + self.history, :] for s in chunk])
+                mask = self._rng.random(clean.shape[:3]) < mask_ratio
+                corrupted = clean.copy()
+                corrupted[mask] = 0.0
+                optimizer.zero_grad()
+                hidden = self._encode(Tensor(corrupted))
+                reconstruction = self.imputation_head(hidden).reshape(clean.shape)
+                loss = losses.masked_mse_loss(reconstruction, clean, mask[..., None] * np.ones_like(clean))
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.item())
+                batches += 1
+            history.append(epoch_loss / max(batches, 1))
+        return history
+
+    def impute(
+        self,
+        segment_id: int,
+        start_slice: int,
+        num_slices: int,
+        masked_positions: Sequence[int],
+        traffic_override: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Impute the masked slices of one segment's window, in original units.
+
+        The window is processed in chunks of the model's native ``history``
+        length; masked cells of the input are taken from ``traffic_override``
+        (which the evaluator fills with channel means).
+        """
+        source = self.traffic.values if traffic_override is None else traffic_override
+        values = self._normalise(source)
+        masked_positions = np.asarray(sorted(int(p) for p in masked_positions))
+        outputs = np.zeros((len(masked_positions), self.num_channels))
+        with no_grad():
+            for chunk_start in range(0, num_slices, self.history):
+                lo = start_slice + chunk_start
+                hi = min(lo + self.history, values.shape[1])
+                window = values[:, lo:hi, :]
+                if window.shape[1] < self.history:
+                    pad = np.zeros((self.num_segments, self.history - window.shape[1], self.num_channels))
+                    window = np.concatenate([window, pad], axis=1)
+                hidden = self._encode(Tensor(window[None]))
+                reconstruction = self.imputation_head(hidden).reshape(
+                    1, self.num_segments, self.history, self.num_channels
+                ).data[0, segment_id]
+                for row, position in enumerate(masked_positions):
+                    offset = position - chunk_start
+                    if 0 <= offset < self.history:
+                        outputs[row] = reconstruction[offset]
+        return self._denormalise(outputs)
+
+
+# ----------------------------------------------------------------------
+# Model-specific encoders
+# ----------------------------------------------------------------------
+class DCRNN(TrafficBaseline):
+    """Diffusion-convolutional recurrent network (Li et al., 2018)."""
+
+    name = "dcrnn"
+
+    def _build(self) -> None:
+        self._forward_walk = random_walk_matrix(self.adjacency)
+        self._backward_walk = random_walk_matrix(self.adjacency.T)
+        in_dim = self.num_channels + self.hidden_dim
+        self.update_gate = Linear(3 * in_dim, self.hidden_dim, rng=self._rng)
+        self.reset_gate = Linear(3 * in_dim, self.hidden_dim, rng=self._rng)
+        self.candidate = Linear(3 * in_dim, self.hidden_dim, rng=self._rng)
+
+    def _diffuse(self, x: Tensor) -> Tensor:
+        """Diffusion convolution: concatenate identity, forward and backward walks."""
+        forward = Tensor(self._forward_walk).matmul(x)
+        backward = Tensor(self._backward_walk).matmul(x)
+        return Tensor.concat([x, forward, backward], axis=-1)
+
+    def _encode(self, x: Tensor) -> Tensor:
+        batch, segments, history, channels = x.shape
+        hidden = Tensor(np.zeros((batch, segments, self.hidden_dim)))
+        for step in range(history):
+            step_input = x[:, :, step, :]
+            combined = Tensor.concat([step_input, hidden], axis=-1)
+            diffused = self._diffuse(combined)
+            update = self.update_gate(diffused).sigmoid()
+            reset = self.reset_gate(diffused).sigmoid()
+            candidate_in = self._diffuse(Tensor.concat([step_input, reset * hidden], axis=-1))
+            candidate = self.candidate(candidate_in).tanh()
+            hidden = update * hidden + (1.0 - update) * candidate
+        return hidden
+
+
+class GWNET(TrafficBaseline):
+    """Graph WaveNet (Wu et al., 2019): gated temporal conv + adaptive adjacency."""
+
+    name = "gwnet"
+
+    def _build(self) -> None:
+        self._norm_adj = normalized_adjacency(self.adjacency)
+        self.node_embedding = Parameter(init.normal((self.num_segments, 8), std=0.1, rng=self._rng))
+        self.temporal_filter = Linear(self.history * self.num_channels, self.hidden_dim, rng=self._rng)
+        self.temporal_gate = Linear(self.history * self.num_channels, self.hidden_dim, rng=self._rng)
+        self.graph_mix = Linear(2 * self.hidden_dim, self.hidden_dim, rng=self._rng)
+
+    def _encode(self, x: Tensor) -> Tensor:
+        batch, segments, history, channels = x.shape
+        flat = x.reshape(batch, segments, history * channels)
+        gated = self.temporal_filter(flat).tanh() * self.temporal_gate(flat).sigmoid()
+        # Adaptive adjacency from node embeddings (softmax of E E^T).
+        scores = self.node_embedding.matmul(self.node_embedding.transpose()).relu()
+        adaptive = scores.softmax(axis=-1)
+        static_prop = Tensor(self._norm_adj).matmul(gated)
+        adaptive_prop = adaptive.matmul(gated)
+        return self.graph_mix(Tensor.concat([static_prop, adaptive_prop], axis=-1)).relu()
+
+
+class MTGNN(TrafficBaseline):
+    """MTGNN (Wu et al., 2020): learned sparse graph + mix-hop propagation."""
+
+    name = "mtgnn"
+
+    def _build(self) -> None:
+        self.source_embedding = Parameter(init.normal((self.num_segments, 8), std=0.1, rng=self._rng))
+        self.target_embedding = Parameter(init.normal((self.num_segments, 8), std=0.1, rng=self._rng))
+        self.temporal_mlp = MLP(self.history * self.num_channels, [self.hidden_dim], self.hidden_dim, rng=self._rng)
+        self.hop_mix = Linear(3 * self.hidden_dim, self.hidden_dim, rng=self._rng)
+        self._top_k = min(8, self.num_segments)
+
+    def _learned_adjacency(self) -> Tensor:
+        scores = self.source_embedding.matmul(self.target_embedding.transpose()).tanh().relu()
+        # Sparsify: keep the top-k scores per row (mask computed outside the graph).
+        raw = scores.data
+        threshold = np.sort(raw, axis=1)[:, -self._top_k][:, None]
+        mask = raw < threshold
+        sparse = scores.masked_fill(mask, 0.0)
+        row_sum = sparse.sum(axis=1, keepdims=True).clip(1e-9, np.inf)
+        return sparse / row_sum
+
+    def _encode(self, x: Tensor) -> Tensor:
+        batch, segments, history, channels = x.shape
+        h0 = self.temporal_mlp(x.reshape(batch, segments, history * channels))
+        adjacency = self._learned_adjacency()
+        h1 = adjacency.matmul(h0)
+        h2 = adjacency.matmul(h1)
+        return self.hop_mix(Tensor.concat([h0, h1, h2], axis=-1)).relu()
+
+
+class TrGNN(TrafficBaseline):
+    """TrGNN (Li et al., 2021): propagation along trajectory transition flows."""
+
+    name = "trgnn"
+
+    def _build(self) -> None:
+        self._transition = self._trajectory_transition_matrix()
+        self.temporal_mlp = MLP(self.history * self.num_channels, [self.hidden_dim], self.hidden_dim, rng=self._rng)
+        self.propagation_mix = Linear(2 * self.hidden_dim, self.hidden_dim, rng=self._rng)
+
+    def _trajectory_transition_matrix(self) -> np.ndarray:
+        counts = np.zeros((self.num_segments, self.num_segments))
+        for trajectory in self.dataset.train_trajectories:
+            for a, b in zip(trajectory.segments[:-1], trajectory.segments[1:]):
+                counts[a, b] += 1.0
+        counts += self.adjacency * 0.1  # fall back to topology where no trajectories pass
+        row_sum = counts.sum(axis=1, keepdims=True)
+        return counts / np.maximum(row_sum, 1e-9)
+
+    def _encode(self, x: Tensor) -> Tensor:
+        batch, segments, history, channels = x.shape
+        h0 = self.temporal_mlp(x.reshape(batch, segments, history * channels))
+        flow = Tensor(self._transition).matmul(h0)
+        return self.propagation_mix(Tensor.concat([h0, flow], axis=-1)).relu()
+
+
+class STGODE(TrafficBaseline):
+    """STGODE (Fang et al., 2021): graph ODE integrated with explicit Euler steps."""
+
+    name = "stgode"
+
+    _ode_steps = 4
+    _step_size = 0.25
+
+    def _build(self) -> None:
+        self._norm_adj = normalized_adjacency(self.adjacency)
+        self.temporal_mlp = MLP(self.history * self.num_channels, [self.hidden_dim], self.hidden_dim, rng=self._rng)
+        self.ode_transform = Linear(self.hidden_dim, self.hidden_dim, rng=self._rng)
+
+    def _encode(self, x: Tensor) -> Tensor:
+        batch, segments, history, channels = x.shape
+        h = self.temporal_mlp(x.reshape(batch, segments, history * channels))
+        adjacency = Tensor(self._norm_adj)
+        for _ in range(self._ode_steps):
+            derivative = adjacency.matmul(self.ode_transform(h).tanh()) - h
+            h = h + derivative * self._step_size
+        return h.relu()
+
+
+class STNorm(TrafficBaseline):
+    """ST-Norm (Deng et al., 2021): spatial and temporal normalisation branches."""
+
+    name = "stnorm"
+
+    def _build(self) -> None:
+        feature_dim = self.history * self.num_channels
+        self.mixer = MLP(3 * feature_dim, [2 * self.hidden_dim], self.hidden_dim, rng=self._rng)
+
+    @staticmethod
+    def _normalise_over(values: np.ndarray, axis: int) -> np.ndarray:
+        mean = values.mean(axis=axis, keepdims=True)
+        std = values.std(axis=axis, keepdims=True)
+        return (values - mean) / np.maximum(std, 1e-6)
+
+    def _encode(self, x: Tensor) -> Tensor:
+        batch, segments, history, channels = x.shape
+        raw = x.data
+        spatial_norm = self._normalise_over(raw, axis=1)   # normalise across segments
+        temporal_norm = self._normalise_over(raw, axis=2)  # normalise across time
+        stacked = np.concatenate(
+            [
+                raw.reshape(batch, segments, history * channels),
+                spatial_norm.reshape(batch, segments, history * channels),
+                temporal_norm.reshape(batch, segments, history * channels),
+            ],
+            axis=-1,
+        )
+        return self.mixer(Tensor(stacked)).relu()
+
+
+class SSTBAN(TrafficBaseline):
+    """SSTBAN (Guo et al., 2023): self-supervised temporal bottleneck attention."""
+
+    name = "sstban"
+
+    _bottleneck = 4
+
+    def _build(self) -> None:
+        self.step_projection = Linear(self.num_channels, self.hidden_dim, rng=self._rng)
+        self.bottleneck_query = Parameter(init.normal((self._bottleneck, self.hidden_dim), std=0.1, rng=self._rng))
+        self.attention_out = Linear(self._bottleneck * self.hidden_dim, self.hidden_dim, rng=self._rng)
+
+    def _encode(self, x: Tensor) -> Tensor:
+        batch, segments, history, channels = x.shape
+        steps = self.step_projection(x)  # (B, N, T, H)
+        flat = steps.reshape(batch * segments, history, self.hidden_dim)
+        # Bottleneck attention: a small set of latent queries attends over time.
+        queries = self.bottleneck_query  # (K, H)
+        scores = flat.matmul(queries.transpose())  # (B*N, T, K)
+        weights = scores.softmax(axis=1)
+        summarised = weights.transpose(0, 2, 1).matmul(flat)  # (B*N, K, H)
+        pooled = self.attention_out(summarised.reshape(batch * segments, self._bottleneck * self.hidden_dim))
+        return pooled.reshape(batch, segments, self.hidden_dim).relu()
+
+
+#: Registry used by the benchmark harness.
+TRAFFIC_BASELINES: Dict[str, Type[TrafficBaseline]] = {
+    cls.name: cls for cls in (DCRNN, GWNET, MTGNN, TrGNN, STGODE, STNorm, SSTBAN)
+}
+
+
+def build_traffic_baseline(
+    name: str,
+    dataset: CityDataset,
+    history: int = 6,
+    horizon: int = 6,
+    hidden_dim: int = 24,
+    seed: int = 0,
+) -> TrafficBaseline:
+    """Instantiate a traffic baseline by its registry name."""
+    if name not in TRAFFIC_BASELINES:
+        raise KeyError(f"unknown traffic baseline {name!r}; available: {sorted(TRAFFIC_BASELINES)}")
+    return TRAFFIC_BASELINES[name](dataset, history=history, horizon=horizon, hidden_dim=hidden_dim, seed=seed)

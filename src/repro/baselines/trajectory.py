@@ -1,0 +1,508 @@
+"""Trajectory representation-learning baselines (Table III).
+
+All seven models share the two-stage protocol of the originals: a
+self-supervised pre-training pass over the training trajectories, followed by
+per-task heads fitted on top of the learned representations.  (This is the
+"individual training on each task" the paper contrasts BIGCity against.)
+
+The defining mechanism of each method is preserved at small scale:
+
+* **Trajectory2vec** — GRU auto-encoding of the segment sequence.
+* **t2vec** — GRU denoising auto-encoder (inputs are corrupted, the clean
+  sequence is reconstructed).
+* **TremBR** — time-aware GRU reconstruction (segment + travel-time targets).
+* **Toast** — skip-gram pre-trained segment embeddings + transformer MLM.
+* **JCLRNT** — contrastive learning between two augmented trajectory views.
+* **START** — transformer with temporal-regularity features, MLM + contrastive.
+* **JGRM** — joint GPS-view (midpoint coordinates) and route-view encoders
+  with fusion, trained by MLM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.data.datasets import CityDataset
+from repro.data.loader import TrajectoryBatch, collate_trajectories
+from repro.data.timeutils import TIMESTAMP_FEATURE_DIM, timestamp_features
+from repro.data.trajectory import Trajectory
+from repro.tasks.decoding import constrained_next_hop_ranking
+from repro.nn import losses
+from repro.nn.layers import Embedding, Linear, MLP
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.rnn import GRU
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.transformer import TransformerEncoder
+
+
+# ----------------------------------------------------------------------
+# Shared machinery
+# ----------------------------------------------------------------------
+class TrajectoryBaseline(Module):
+    """Base class: segment/time embedding + an encoder + per-task heads."""
+
+    #: human-readable name used in result tables
+    name = "base"
+
+    def __init__(self, dataset: CityDataset, hidden_dim: int = 32, seed: int = 0) -> None:
+        super().__init__()
+        self.dataset = dataset
+        self.hidden_dim = hidden_dim
+        self.num_segments = dataset.num_segments
+        self.num_users = max((t.user_id for t in dataset.trajectories), default=0) + 1
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.segment_embedding = Embedding(self.num_segments, hidden_dim, rng=self._rng, std=0.5)
+        self.time_projection = Linear(TIMESTAMP_FEATURE_DIM, hidden_dim, rng=self._rng)
+        self._build_encoder()
+        # Shared segment-reconstruction decoder used by the self-supervised
+        # objectives (auto-encoding / denoising / MLM).
+        self._reconstruction_head = Linear(self.hidden_dim, self.num_segments, rng=self._rng)
+        # Task heads are created lazily by the fit_* methods.
+        self.next_hop_head: Optional[Linear] = None
+        self.travel_time_head: Optional[MLP] = None
+        self.classifier_head: Optional[Linear] = None
+        self._classifier_target: Optional[str] = None
+
+    # -- architecture hooks -------------------------------------------------
+    def _build_encoder(self) -> None:
+        raise NotImplementedError
+
+    def _encode_inputs(self, inputs: Tensor, padding_mask: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """Return ``(step_states, pooled)`` for embedded inputs ``(B, L, H)``."""
+        raise NotImplementedError
+
+    def pretraining_loss(self, batch: TrajectoryBatch) -> Tensor:
+        """Self-supervised objective of the method."""
+        raise NotImplementedError
+
+    # -- shared embedding ---------------------------------------------------
+    def _embed_batch(self, batch: TrajectoryBatch, corrupt: float = 0.0, hide_time: bool = False) -> Tensor:
+        segments = batch.segments
+        if corrupt > 0.0:
+            noise_mask = self._rng.random(segments.shape) < corrupt
+            random_segments = self._rng.integers(0, self.num_segments, size=segments.shape)
+            segments = np.where(noise_mask & ~batch.padding_mask, random_segments, segments)
+        segment_embedded = self.segment_embedding(segments)
+        if hide_time:
+            time_embedded = Tensor(np.zeros(segment_embedded.shape))
+        else:
+            time_features = np.stack(
+                [np.stack([timestamp_features(t) for t in row]) for row in batch.timestamps]
+            )
+            time_embedded = self.time_projection(Tensor(time_features))
+        return segment_embedded + time_embedded
+
+    def encode(self, trajectories: Sequence[Trajectory], hide_time: bool = False) -> Tuple[Tensor, Tensor, TrajectoryBatch]:
+        """Encode trajectories; returns ``(step_states, pooled, batch)``."""
+        batch = collate_trajectories(list(trajectories))
+        inputs = self._embed_batch(batch, hide_time=hide_time)
+        step_states, pooled = self._encode_inputs(inputs, batch.padding_mask)
+        return step_states, pooled, batch
+
+    # -- pre-training -------------------------------------------------------
+    def pretrain(self, epochs: int = 1, batch_size: int = 16, learning_rate: float = 2e-3) -> List[float]:
+        """Run the method's self-supervised pre-training on the train split."""
+        trajectories = self.dataset.train_trajectories
+        optimizer = Adam(self.trainable_parameters(), lr=learning_rate)
+        history = []
+        for _ in range(epochs):
+            order = self._rng.permutation(len(trajectories))
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, len(order), batch_size):
+                chunk = [trajectories[i] for i in order[start : start + batch_size]]
+                batch = collate_trajectories(chunk)
+                optimizer.zero_grad()
+                loss = self.pretraining_loss(batch)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += float(loss.item())
+                batches += 1
+            history.append(epoch_loss / max(batches, 1))
+        return history
+
+    # -- shared reconstruction objective (used by several methods) ----------
+    def _reconstruction_loss(self, batch: TrajectoryBatch, corrupt: float = 0.0) -> Tensor:
+        inputs = self._embed_batch(batch, corrupt=corrupt)
+        step_states, _ = self._encode_inputs(inputs, batch.padding_mask)
+        logits = self._reconstruction_head(step_states)
+        valid = ~batch.padding_mask
+        flat_logits = logits.reshape(-1, self.num_segments)
+        flat_targets = batch.segments.reshape(-1)
+        flat_valid = valid.reshape(-1)
+        picked = flat_logits[np.nonzero(flat_valid)[0]]
+        targets = flat_targets[flat_valid]
+        return losses.cross_entropy(picked, targets)
+
+    def _contrastive_loss(self, batch: TrajectoryBatch, crop_ratio: float = 0.7) -> Tensor:
+        """InfoNCE between two random crops of every trajectory."""
+        trajectories = []
+        for row in range(batch.batch_size):
+            length = int(batch.lengths[row])
+            segments = batch.segments[row, :length]
+            timestamps = batch.timestamps[row, :length]
+            trajectories.append((segments, timestamps))
+
+        def crop(segments: np.ndarray, timestamps: np.ndarray) -> Trajectory:
+            length = len(segments)
+            keep = max(2, int(round(length * crop_ratio)))
+            start = int(self._rng.integers(0, max(length - keep, 0) + 1))
+            return Trajectory(0, 0, list(segments[start : start + keep]), list(timestamps[start : start + keep]))
+
+        view_a = [crop(s, t) for s, t in trajectories]
+        view_b = [crop(s, t) for s, t in trajectories]
+        _, pooled_a, _ = self.encode(view_a)
+        _, pooled_b, _ = self.encode(view_b)
+        return losses.info_nce(pooled_a, pooled_b)
+
+    # -- task heads ----------------------------------------------------------
+    def fit_next_hop(
+        self,
+        epochs: int = 3,
+        batch_size: int = 16,
+        learning_rate: float = 3e-3,
+        augmentation: int = 2,
+    ) -> None:
+        """Fine-tune a softmax head predicting the segment after a prefix.
+
+        ``augmentation`` extra training examples per trajectory are created by
+        cutting it at random intermediate positions (the same augmentation
+        BIGCity's prompt-tuning stage uses), so the comparison stays fair.
+        """
+        self.next_hop_head = Linear(self.hidden_dim, self.num_segments, rng=self._rng)
+        base_samples = [t for t in self.dataset.train_trajectories if len(t) >= 3]
+        samples = list(base_samples)
+        for trajectory in base_samples:
+            if len(trajectory) > 3 and augmentation > 0:
+                cuts = self._rng.choice(
+                    np.arange(3, len(trajectory)),
+                    size=min(augmentation, len(trajectory) - 3),
+                    replace=False,
+                )
+                samples.extend(trajectory.slice(0, int(cut)) for cut in cuts)
+        parameters = self.trainable_parameters() + [p for p in self.next_hop_head.parameters()]
+        optimizer = Adam(parameters, lr=learning_rate)
+        for _ in range(epochs):
+            order = self._rng.permutation(len(samples))
+            for start in range(0, len(order), batch_size):
+                chunk = [samples[i] for i in order[start : start + batch_size]]
+                prefixes = [t.slice(0, len(t) - 1) for t in chunk]
+                targets = np.array([t.segments[-1] for t in chunk])
+                optimizer.zero_grad()
+                _, pooled, _ = self.encode(prefixes)
+                loss = losses.cross_entropy(self.next_hop_head(pooled), targets)
+                loss.backward()
+                optimizer.step()
+
+    def predict_next_hop(
+        self,
+        trajectories: Sequence[Trajectory],
+        top_k: int = 10,
+        constrain_to_network: bool = True,
+    ) -> List[np.ndarray]:
+        """Ranked next-segment candidates; input trajectories include the target hop.
+
+        ``constrain_to_network`` ranks graph successors of the last observed
+        segment first (the same road-network constraint BIGCity uses), keeping
+        the comparison between models about ranking quality rather than about
+        which model rediscovers the adjacency structure.
+        """
+        if self.next_hop_head is None:
+            raise RuntimeError("call fit_next_hop before predicting")
+        prefixes = [t.slice(0, len(t) - 1) for t in trajectories]
+        with no_grad():
+            _, pooled, _ = self.encode(prefixes)
+            logits = self.next_hop_head(pooled).data
+        rankings: List[np.ndarray] = []
+        for prefix, row in zip(prefixes, logits):
+            if constrain_to_network:
+                rankings.append(
+                    constrained_next_hop_ranking(row, int(prefix.segments[-1]), self.dataset.network, top_k=top_k)
+                )
+            else:
+                rankings.append(np.argsort(-row)[:top_k])
+        return rankings
+
+    def fit_travel_time(self, epochs: int = 4, batch_size: int = 16, learning_rate: float = 3e-3) -> None:
+        """Fine-tune a regression head predicting total travel time (minutes)."""
+        self.travel_time_head = MLP(self.hidden_dim, [self.hidden_dim], 1, rng=self._rng)
+        samples = self.dataset.train_trajectories
+        parameters = self.trainable_parameters() + [p for p in self.travel_time_head.parameters()]
+        optimizer = Adam(parameters, lr=learning_rate)
+        for _ in range(epochs):
+            order = self._rng.permutation(len(samples))
+            for start in range(0, len(order), batch_size):
+                chunk = [samples[i] for i in order[start : start + batch_size]]
+                targets = np.array([[t.duration / 60.0] for t in chunk])
+                optimizer.zero_grad()
+                _, pooled, _ = self.encode(chunk, hide_time=True)
+                loss = losses.mse_loss(self.travel_time_head(pooled), targets)
+                loss.backward()
+                optimizer.step()
+
+    def predict_travel_time(self, trajectories: Sequence[Trajectory]) -> np.ndarray:
+        """Predicted total travel time in seconds."""
+        if self.travel_time_head is None:
+            raise RuntimeError("call fit_travel_time before predicting")
+        with no_grad():
+            _, pooled, _ = self.encode(list(trajectories), hide_time=True)
+            minutes = self.travel_time_head(pooled).data.reshape(-1)
+        return np.clip(minutes, 0.0, None) * 60.0
+
+    def fit_classifier(self, target: str = "user", epochs: int = 4, batch_size: int = 16, learning_rate: float = 3e-3) -> None:
+        """Fine-tune a classification head (user linkage or binary pattern)."""
+        num_classes = self.num_users if target == "user" else 2
+        self.classifier_head = Linear(self.hidden_dim, num_classes, rng=self._rng)
+        self._classifier_target = target
+        samples = [t for t in self.dataset.train_trajectories if target == "user" or t.label is not None]
+        parameters = self.trainable_parameters() + [p for p in self.classifier_head.parameters()]
+        optimizer = Adam(parameters, lr=learning_rate)
+        for _ in range(epochs):
+            order = self._rng.permutation(len(samples))
+            for start in range(0, len(order), batch_size):
+                chunk = [samples[i] for i in order[start : start + batch_size]]
+                if target == "user":
+                    targets = np.array([t.user_id for t in chunk])
+                else:
+                    targets = np.array([int(t.label) for t in chunk])
+                optimizer.zero_grad()
+                _, pooled, _ = self.encode(chunk)
+                loss = losses.cross_entropy(self.classifier_head(pooled), targets)
+                loss.backward()
+                optimizer.step()
+
+    def predict_class(self, trajectories: Sequence[Trajectory]) -> np.ndarray:
+        if self.classifier_head is None:
+            raise RuntimeError("call fit_classifier before predicting")
+        with no_grad():
+            _, pooled, _ = self.encode(list(trajectories))
+            logits = self.classifier_head(pooled).data
+        return np.argmax(logits, axis=-1)
+
+    def class_scores(self, trajectories: Sequence[Trajectory]) -> np.ndarray:
+        if self.classifier_head is None:
+            raise RuntimeError("call fit_classifier before predicting")
+        with no_grad():
+            _, pooled, _ = self.encode(list(trajectories))
+            logits = self.classifier_head(pooled).data
+        exp = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def embed(self, trajectories: Sequence[Trajectory], batch_size: int = 32) -> np.ndarray:
+        """Trajectory embeddings for similarity search."""
+        outputs = []
+        with no_grad():
+            for start in range(0, len(trajectories), batch_size):
+                chunk = list(trajectories[start : start + batch_size])
+                _, pooled, _ = self.encode(chunk)
+                outputs.append(pooled.data.copy())
+        return np.concatenate(outputs, axis=0)
+
+
+class _GRUEncoderMixin:
+    """Encoder built from a single GRU; pooled state = final hidden state."""
+
+    def _build_encoder(self) -> None:
+        self.encoder = GRU(self.hidden_dim, self.hidden_dim, rng=self._rng)
+
+    def _encode_inputs(self, inputs: Tensor, padding_mask: np.ndarray) -> Tuple[Tensor, Tensor]:
+        step_states, final_hidden = self.encoder(inputs, padding_mask=padding_mask)
+        return step_states, final_hidden
+
+
+class _TransformerEncoderMixin:
+    """Encoder built from a bidirectional transformer; pooled state = masked mean."""
+
+    _num_layers = 2
+    _num_heads = 2
+
+    def _build_encoder(self) -> None:
+        self.encoder = TransformerEncoder(
+            d_model=self.hidden_dim,
+            num_layers=self._num_layers,
+            num_heads=self._num_heads,
+            max_position=256,
+            seed=self.seed,
+        )
+
+    def _encode_inputs(self, inputs: Tensor, padding_mask: np.ndarray) -> Tuple[Tensor, Tensor]:
+        step_states = self.encoder(inputs, padding_mask=padding_mask)
+        keep = Tensor((~padding_mask).astype(np.float64)[:, :, None])
+        pooled = (step_states * keep).sum(axis=1) / keep.sum(axis=1).clip(1e-9, np.inf)
+        return step_states, pooled
+
+
+# ----------------------------------------------------------------------
+# The seven baselines
+# ----------------------------------------------------------------------
+class Trajectory2Vec(_GRUEncoderMixin, TrajectoryBaseline):
+    """Yao et al. 2017: RNN auto-encoding of behaviour sequences."""
+
+    name = "traj2vec"
+
+    def pretraining_loss(self, batch: TrajectoryBatch) -> Tensor:
+        return self._reconstruction_loss(batch, corrupt=0.0)
+
+
+class T2Vec(_GRUEncoderMixin, TrajectoryBaseline):
+    """Li et al. 2018: denoising seq2seq trajectory representation."""
+
+    name = "t2vec"
+
+    def pretraining_loss(self, batch: TrajectoryBatch) -> Tensor:
+        return self._reconstruction_loss(batch, corrupt=0.25)
+
+
+class TremBR(_GRUEncoderMixin, TrajectoryBaseline):
+    """Fu & Lee 2020: time-aware GRU with segment and travel-time reconstruction."""
+
+    name = "trembr"
+
+    def _build_encoder(self) -> None:
+        super()._build_encoder()
+        self._time_head = Linear(self.hidden_dim, 1, rng=self._rng)
+
+    def pretraining_loss(self, batch: TrajectoryBatch) -> Tensor:
+        inputs = self._embed_batch(batch)
+        step_states, _ = self._encode_inputs(inputs, batch.padding_mask)
+        logits = self._reconstruction_head(step_states)
+        valid = ~batch.padding_mask
+        flat_logits = logits.reshape(-1, self.num_segments)[np.nonzero(valid.reshape(-1))[0]]
+        targets = batch.segments.reshape(-1)[valid.reshape(-1)]
+        segment_loss = losses.cross_entropy(flat_logits, targets)
+        # Travel-time regression on the per-step intervals (minutes).
+        intervals = np.zeros_like(batch.timestamps)
+        intervals[:, 1:] = np.diff(batch.timestamps, axis=1) / 60.0
+        predicted = self._time_head(step_states).reshape(batch.batch_size, batch.max_length)
+        valid_t = Tensor(valid.astype(np.float64))
+        time_loss = (((predicted - Tensor(intervals)) * valid_t) ** 2).sum() / max(float(valid.sum()), 1.0)
+        return segment_loss + 0.1 * time_loss
+
+
+class Toast(_TransformerEncoderMixin, TrajectoryBaseline):
+    """Chen et al. 2021: skip-gram road embeddings + transformer MLM."""
+
+    name = "toast"
+
+    def pretrain(self, epochs: int = 1, batch_size: int = 16, learning_rate: float = 2e-3) -> List[float]:
+        self._skipgram_pretrain()
+        return super().pretrain(epochs=epochs, batch_size=batch_size, learning_rate=learning_rate)
+
+    def _skipgram_pretrain(self, num_walks: int = 40, walk_length: int = 8, window: int = 2, epochs: int = 1, learning_rate: float = 5e-3) -> None:
+        """Skip-gram over random walks on the road network to warm-start segment embeddings."""
+        network = self.dataset.network
+        context_embedding = Embedding(self.num_segments, self.hidden_dim, rng=self._rng)
+        optimizer = Adam(self.segment_embedding.parameters() + context_embedding.parameters(), lr=learning_rate)
+        walks = [
+            network.random_walk(int(self._rng.integers(0, self.num_segments)), walk_length, self._rng)
+            for _ in range(num_walks)
+        ]
+        for _ in range(epochs):
+            centers, contexts = [], []
+            for walk in walks:
+                for i, center in enumerate(walk):
+                    for j in range(max(0, i - window), min(len(walk), i + window + 1)):
+                        if i != j:
+                            centers.append(center)
+                            contexts.append(walk[j])
+            if not centers:
+                return
+            optimizer.zero_grad()
+            center_vectors = self.segment_embedding(np.asarray(centers))
+            logits = center_vectors.matmul(context_embedding.weight.transpose())
+            loss = losses.cross_entropy(logits, np.asarray(contexts))
+            loss.backward()
+            optimizer.step()
+
+    def pretraining_loss(self, batch: TrajectoryBatch) -> Tensor:
+        # Masked language modelling over road segments: corrupt 15% of inputs.
+        return self._reconstruction_loss(batch, corrupt=0.15)
+
+
+class JCLRNT(_TransformerEncoderMixin, TrajectoryBaseline):
+    """Mao et al. 2022: joint contrastive learning of road network and trajectory views."""
+
+    name = "jclrnt"
+
+    def pretraining_loss(self, batch: TrajectoryBatch) -> Tensor:
+        contrastive = self._contrastive_loss(batch)
+        reconstruction = self._reconstruction_loss(batch, corrupt=0.15)
+        return contrastive + 0.5 * reconstruction
+
+
+class START(_TransformerEncoderMixin, TrajectoryBaseline):
+    """Jiang et al. 2023: temporal-regularity-aware transformer with MLM + contrastive."""
+
+    name = "start"
+
+    _num_layers = 3
+
+    def _build_encoder(self) -> None:
+        super()._build_encoder()
+        # Explicit time-of-day / day-of-week embedding: START emphasises
+        # temporal periodicity on top of travel semantics.
+        self.periodicity_projection = Linear(TIMESTAMP_FEATURE_DIM, self.hidden_dim, rng=self._rng)
+
+    def _embed_batch(self, batch: TrajectoryBatch, corrupt: float = 0.0, hide_time: bool = False) -> Tensor:
+        base = super()._embed_batch(batch, corrupt=corrupt, hide_time=hide_time)
+        if hide_time:
+            return base
+        time_features = np.stack(
+            [np.stack([timestamp_features(t) for t in row]) for row in batch.timestamps]
+        )
+        return base + self.periodicity_projection(Tensor(time_features))
+
+    def pretraining_loss(self, batch: TrajectoryBatch) -> Tensor:
+        return self._reconstruction_loss(batch, corrupt=0.15) + self._contrastive_loss(batch)
+
+
+class JGRM(TrajectoryBaseline):
+    """Ma et al. 2024: joint GPS-view and route-view modelling with fusion."""
+
+    name = "jgrm"
+
+    def _build_encoder(self) -> None:
+        self.route_encoder = TransformerEncoder(
+            d_model=self.hidden_dim, num_layers=2, num_heads=2, max_position=256, seed=self.seed
+        )
+        self.gps_encoder = GRU(2, self.hidden_dim, rng=self._rng)
+        self.fusion = Linear(2 * self.hidden_dim, self.hidden_dim, rng=self._rng)
+        self._midpoints = np.array([s.midpoint for s in self.dataset.network.segments])
+        extent = np.maximum(self._midpoints.max(axis=0) - self._midpoints.min(axis=0), 1e-9)
+        self._midpoints = (self._midpoints - self._midpoints.min(axis=0)) / extent
+
+    def _encode_inputs(self, inputs: Tensor, padding_mask: np.ndarray) -> Tuple[Tensor, Tensor]:
+        # Route view.
+        route_states = self.route_encoder(inputs, padding_mask=padding_mask)
+        keep = Tensor((~padding_mask).astype(np.float64)[:, :, None])
+        route_pooled = (route_states * keep).sum(axis=1) / keep.sum(axis=1).clip(1e-9, np.inf)
+        # GPS view (midpoint coordinate sequence of the same segments).
+        coordinates = self._midpoints[self._current_segments]
+        _, gps_pooled = self.gps_encoder(Tensor(coordinates), padding_mask=padding_mask)
+        fused = self.fusion(Tensor.concat([route_pooled, gps_pooled], axis=-1))
+        return route_states, fused
+
+    def _embed_batch(self, batch: TrajectoryBatch, corrupt: float = 0.0, hide_time: bool = False) -> Tensor:
+        # Remember the segment ids so the GPS view can look up coordinates.
+        self._current_segments = batch.segments
+        return super()._embed_batch(batch, corrupt=corrupt, hide_time=hide_time)
+
+    def pretraining_loss(self, batch: TrajectoryBatch) -> Tensor:
+        return self._reconstruction_loss(batch, corrupt=0.15)
+
+
+#: Registry used by the benchmark harness.
+TRAJECTORY_BASELINES: Dict[str, Type[TrajectoryBaseline]] = {
+    cls.name: cls for cls in (Trajectory2Vec, T2Vec, TremBR, Toast, JCLRNT, START, JGRM)
+}
+
+
+def build_trajectory_baseline(name: str, dataset: CityDataset, hidden_dim: int = 32, seed: int = 0) -> TrajectoryBaseline:
+    """Instantiate a trajectory baseline by its registry name."""
+    if name not in TRAJECTORY_BASELINES:
+        raise KeyError(f"unknown trajectory baseline {name!r}; available: {sorted(TRAJECTORY_BASELINES)}")
+    return TRAJECTORY_BASELINES[name](dataset, hidden_dim=hidden_dim, seed=seed)

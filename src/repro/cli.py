@@ -1,0 +1,266 @@
+"""Command-line interface for the BIGCity reproduction.
+
+The CLI covers the day-to-day entry points a user of the library needs
+without writing Python:
+
+``repro datasets``
+    Print Table-II-style statistics of the built-in synthetic city presets.
+
+``repro train``
+    Run the two-stage training procedure on one preset and (optionally) save
+    the resulting model weights.
+
+``repro evaluate``
+    Train (or load) a model and score it on the trajectory/traffic tasks.
+
+``repro experiment``
+    Regenerate one of the paper's tables or figures through the experiment
+    registry (the same runners the benchmark suite uses).
+
+``repro radar``
+    Render the Figure-1 radar chart as text.
+
+All commands are deterministic given ``--seed`` and run on CPU in minutes
+with the default ``quick`` profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import BIGCityConfig
+from repro.core.training import TrainingConfig, train_bigcity
+from repro.data.datasets import DATASET_PRESETS, load_dataset
+from repro.eval.harness import ExperimentContext, get_profile
+from repro.eval.radar import radar_from_table
+from repro.eval.registry import EXPERIMENTS, get_experiment
+from repro.eval.results import ResultTable
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.tasks.classification import TrajectoryClassificationEvaluator
+from repro.tasks.next_hop import NextHopEvaluator
+from repro.tasks.similarity import SimilaritySearchEvaluator
+from repro.tasks.travel_time import TravelTimeEvaluator
+
+__all__ = ["build_parser", "main"]
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _model_config(size: str, seed: int) -> BIGCityConfig:
+    if size == "tiny":
+        return BIGCityConfig.tiny(seed=seed)
+    if size == "small":
+        return BIGCityConfig.small(seed=seed)
+    if size == "default":
+        return BIGCityConfig(seed=seed)
+    raise ValueError(f"unknown model size {size!r}")
+
+
+def _print(text: str, stream=None) -> None:
+    print(text, file=stream or sys.stdout)
+
+
+def _tables_from_result(result) -> List[ResultTable]:
+    if isinstance(result, ResultTable):
+        return [result]
+    if isinstance(result, dict):
+        tables: List[ResultTable] = []
+        for value in result.values():
+            tables.extend(_tables_from_result(value))
+        return tables
+    raise TypeError(f"experiment runner returned unsupported type {type(result)!r}")
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_datasets(args: argparse.Namespace) -> int:
+    names = args.names or sorted(DATASET_PRESETS)
+    table = ResultTable(title="Dataset statistics (Table II analogue)")
+    for name in names:
+        dataset = load_dataset(name, seed=args.seed)
+        table.add_row(name, dataset.summary())
+    if args.json:
+        _print(table.to_json())
+    else:
+        _print(table.to_text())
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    model_config = _model_config(args.size, args.seed)
+    training_config = TrainingConfig(
+        stage1_epochs=args.stage1_epochs,
+        stage2_epochs=args.stage2_epochs,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    started = time.time()
+    model, logs = train_bigcity(dataset, model_config=model_config, training_config=training_config)
+    elapsed = time.time() - started
+    for stage, stage_logs in logs.items():
+        for log in stage_logs:
+            _print(f"[{stage}] epoch {log.epoch}: loss={log.loss:.4f}")
+    summary = model.parameter_summary()
+    _print(f"trained BIGCity on {args.dataset} in {elapsed:.1f}s "
+           f"({summary['total']} parameters, {summary['trainable']} trainable)")
+    if args.output:
+        path = save_state_dict(model, args.output, metadata={"dataset": args.dataset, "size": args.size})
+        _print(f"saved model weights to {path}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    model_config = _model_config(args.size, args.seed)
+    training_config = TrainingConfig(
+        stage1_epochs=args.stage1_epochs,
+        stage2_epochs=args.stage2_epochs,
+        seed=args.seed,
+    )
+    if args.checkpoint:
+        from repro.core.model import BIGCity
+
+        model = BIGCity.from_dataset(dataset, config=model_config)
+        load_state_dict(model, args.checkpoint)
+        model.eval()
+    else:
+        model, _ = train_bigcity(dataset, model_config=model_config, training_config=training_config)
+
+    table = ResultTable(
+        title=f"BIGCity evaluation on {args.dataset}",
+        higher_is_better={"tte_mae": False, "tte_rmse": False, "next_acc": True, "next_mrr@5": True, "simi_hr@5": True},
+    )
+    metrics: Dict[str, float] = {}
+    tte = TravelTimeEvaluator(dataset, max_samples=args.max_samples, seed=args.seed)
+    tte_metrics = tte.evaluate(model.estimate_travel_time)
+    metrics["tte_mae"] = tte_metrics["mae"]
+    metrics["tte_rmse"] = tte_metrics["rmse"]
+    nxt = NextHopEvaluator(dataset, max_samples=args.max_samples, seed=args.seed)
+    next_metrics = nxt.evaluate(lambda ts: model.predict_next_hop(ts, top_k=10))
+    metrics["next_acc"] = next_metrics["acc"]
+    metrics["next_mrr@5"] = next_metrics["mrr@5"]
+    simi = SimilaritySearchEvaluator(dataset, num_queries=min(args.max_samples, 24), seed=args.seed)
+    simi_metrics = simi.evaluate(embed_fn=model.trajectory_embeddings)
+    metrics["simi_hr@5"] = simi_metrics["hr@5"]
+    target = "user" if dataset.has_dynamic_features else "pattern"
+    clas = TrajectoryClassificationEvaluator(dataset, target=target, max_samples=args.max_samples, seed=args.seed)
+    clas_metrics = clas.evaluate(
+        lambda ts: model.classify_trajectory(ts, target=target),
+        lambda ts: model.classification_scores(ts, target=target),
+    )
+    for key, value in clas_metrics.items():
+        metrics[f"clas_{key}"] = value
+    table.add_row("bigcity", metrics)
+    if args.json:
+        _print(table.to_json())
+    else:
+        _print(table.to_text())
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.list:
+        for name, spec in EXPERIMENTS.items():
+            _print(f"{name:10s} {spec.paper_reference:12s} {spec.description}")
+        return 0
+    if not args.name:
+        _print("an experiment name is required (see --list)", stream=sys.stderr)
+        return 2
+    spec = get_experiment(args.name)
+    context = ExperimentContext(get_profile(args.profile))
+    result = spec.runner(context)
+    tables = _tables_from_result(result)
+    payload = []
+    for table in tables:
+        _print(table.to_text())
+        _print("")
+        payload.append(table.to_dict())
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        _print(f"saved experiment output to {path}")
+    return 0
+
+
+def cmd_radar(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import run_fig1_radar
+
+    context = ExperimentContext(get_profile(args.profile))
+    table = run_fig1_radar(context, args.dataset)
+    _print(radar_from_table(table, width=args.width))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BIGCity reproduction: universal trajectory + traffic-state model",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    datasets = subparsers.add_parser("datasets", help="print statistics of the synthetic city presets")
+    datasets.add_argument("--names", nargs="*", default=None, help="presets to include (default: all)")
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.add_argument("--json", action="store_true", help="emit JSON instead of a text table")
+    datasets.set_defaults(func=cmd_datasets)
+
+    train = subparsers.add_parser("train", help="run the two-stage training procedure")
+    train.add_argument("--dataset", default="xa_like", choices=sorted(DATASET_PRESETS))
+    train.add_argument("--size", default="tiny", choices=("tiny", "small", "default"))
+    train.add_argument("--stage1-epochs", type=int, default=1)
+    train.add_argument("--stage2-epochs", type=int, default=2)
+    train.add_argument("--batch-size", type=int, default=8)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", default=None, help="path to save the trained weights (.npz)")
+    train.set_defaults(func=cmd_train)
+
+    evaluate = subparsers.add_parser("evaluate", help="train (or load) a model and score it on the main tasks")
+    evaluate.add_argument("--dataset", default="xa_like", choices=sorted(DATASET_PRESETS))
+    evaluate.add_argument("--size", default="tiny", choices=("tiny", "small", "default"))
+    evaluate.add_argument("--checkpoint", default=None, help="load weights instead of training")
+    evaluate.add_argument("--stage1-epochs", type=int, default=1)
+    evaluate.add_argument("--stage2-epochs", type=int, default=2)
+    evaluate.add_argument("--max-samples", type=int, default=30)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--json", action="store_true")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate one paper table/figure")
+    experiment.add_argument("name", nargs="?", default=None, help="experiment id, e.g. table3 or fig1")
+    experiment.add_argument("--list", action="store_true", help="list registered experiments")
+    experiment.add_argument("--profile", default=None, help="benchmark profile (quick/full/smoke)")
+    experiment.add_argument("--output", default=None, help="save the result tables as JSON")
+    experiment.set_defaults(func=cmd_experiment)
+
+    radar = subparsers.add_parser("radar", help="render the Figure 1 radar chart as text")
+    radar.add_argument("--dataset", default="xa_like", choices=sorted(DATASET_PRESETS))
+    radar.add_argument("--profile", default=None)
+    radar.add_argument("--width", type=int, default=40)
+    radar.set_defaults(func=cmd_radar)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro`
+    raise SystemExit(main())

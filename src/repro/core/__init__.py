@@ -1,0 +1,77 @@
+"""BIGCity core: unified ST representation and the versatile task-prompted model.
+
+The sub-modules follow the paper's structure:
+
+* :mod:`repro.core.st_unit` — ST-units, the unified representation of
+  trajectories and traffic states (Sec. IV-A).
+* :mod:`repro.core.tokenizer` — the spatiotemporal tokenizer turning ST-unit
+  sequences into ST tokens (Sec. IV-B).
+* :mod:`repro.core.prompts` — task-oriented prompts: textual instructions,
+  ST tokens and task placeholders (Sec. V-A).
+* :mod:`repro.core.backbone` — the LoRA-adapted causal (GPT-2 style)
+  backbone (Sec. V-B).
+* :mod:`repro.core.heads` — the general task heads (Sec. V-C).
+* :mod:`repro.core.model` — the assembled BIGCity model.
+* :mod:`repro.core.training` — the two-stage training strategy (Sec. VI).
+* :mod:`repro.core.transfer` — cross-city backbone transfer (Sec. VII-C).
+* :mod:`repro.core.fewshot` — few-/zero-shot cross-city adaptation built on
+  the transfer machinery.
+"""
+
+from repro.core.config import BIGCityConfig
+from repro.core.st_unit import STUnit, STUnitSequence, trajectory_to_units, traffic_series_to_units
+from repro.core.tokenizer import SpatioTemporalTokenizer
+from repro.core.prompts import (
+    TaskType,
+    Prompt,
+    PromptBuilder,
+    TextTokenizer,
+    INSTRUCTION_BANK,
+)
+from repro.core.heads import GeneralTaskHeads, LabelSpace
+from repro.core.backbone import BIGCityBackbone
+from repro.core.model import BIGCity
+from repro.core.training import (
+    MaskedReconstructionTrainer,
+    PromptTuningTrainer,
+    TrainingConfig,
+    train_bigcity,
+)
+from repro.core.transfer import transfer_backbone
+from repro.core.checkpoints import save_bigcity, load_bigcity, read_checkpoint_metadata
+from repro.core.fewshot import (
+    few_shot_transfer,
+    zero_shot_transfer,
+    limit_training_trajectories,
+    evaluate_adaptation,
+)
+
+__all__ = [
+    "BIGCityConfig",
+    "STUnit",
+    "STUnitSequence",
+    "trajectory_to_units",
+    "traffic_series_to_units",
+    "SpatioTemporalTokenizer",
+    "TaskType",
+    "Prompt",
+    "PromptBuilder",
+    "TextTokenizer",
+    "INSTRUCTION_BANK",
+    "GeneralTaskHeads",
+    "LabelSpace",
+    "BIGCityBackbone",
+    "BIGCity",
+    "MaskedReconstructionTrainer",
+    "PromptTuningTrainer",
+    "TrainingConfig",
+    "train_bigcity",
+    "transfer_backbone",
+    "save_bigcity",
+    "load_bigcity",
+    "read_checkpoint_metadata",
+    "few_shot_transfer",
+    "zero_shot_transfer",
+    "limit_training_trajectories",
+    "evaluate_adaptation",
+]

@@ -1,0 +1,177 @@
+"""Few-shot and zero-shot cross-city adaptation.
+
+Section VII-C of the paper shows that a backbone pre-trained on the large BJ
+dataset transfers to XA/CD with only the tokenizer's final MLP fine-tuned.
+The natural extension (and the promise of "ST foundation models" the paper
+positions itself in) is to ask how little target-city data that fine-tuning
+step actually needs.  This module provides that machinery:
+
+* :func:`limit_training_trajectories` — restrict a dataset's *training* split
+  to ``shots`` trajectories (optionally balanced across users) while keeping
+  validation/test untouched, so evaluation stays comparable.
+* :func:`few_shot_transfer` — transfer a trained backbone to a target city
+  and fine-tune on only ``shots`` trajectories.
+* :func:`zero_shot_transfer` — transfer with no target-city fine-tuning at
+  all (the tokenizer is still built from the target road network, which
+  requires no labels).
+* :func:`evaluate_adaptation` — score an adapted model on the three headline
+  transfer tasks of Table VI (travel time, next hop, classification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import BIGCity
+from repro.core.prompts import TaskType
+from repro.core.training import EpochLog, TrainingConfig
+from repro.core.transfer import transfer_backbone
+from repro.data.datasets import CityDataset, DatasetSplits
+from repro.tasks.classification import TrajectoryClassificationEvaluator
+from repro.tasks.next_hop import NextHopEvaluator
+from repro.tasks.travel_time import TravelTimeEvaluator
+
+__all__ = [
+    "limit_training_trajectories",
+    "few_shot_transfer",
+    "zero_shot_transfer",
+    "evaluate_adaptation",
+    "AdaptationResult",
+]
+
+
+@dataclass
+class AdaptationResult:
+    """An adapted model together with how it was produced."""
+
+    model: BIGCity
+    shots: int
+    finetune_logs: List[EpochLog]
+    dataset_name: str
+
+
+def limit_training_trajectories(
+    dataset: CityDataset,
+    shots: int,
+    seed: int = 0,
+    balance_users: bool = True,
+) -> CityDataset:
+    """Return a copy of ``dataset`` whose training split has ``shots`` items.
+
+    Validation and test splits are left untouched so that models adapted on
+    different shot counts are evaluated on identical data.  When
+    ``balance_users`` is set the kept trajectories are spread round-robin
+    across users, which keeps the user-linkage task meaningful even at small
+    shot counts.
+    """
+    if shots < 1:
+        raise ValueError("shots must be at least 1")
+    train_indices = list(dataset.splits.train)
+    if shots >= len(train_indices):
+        return dataset
+    rng = np.random.default_rng(seed)
+    if balance_users:
+        by_user: Dict[int, List[int]] = {}
+        for index in train_indices:
+            by_user.setdefault(dataset.trajectories[index].user_id, []).append(index)
+        for indices in by_user.values():
+            rng.shuffle(indices)
+        users = list(by_user)
+        rng.shuffle(users)
+        selected: List[int] = []
+        cursor = 0
+        while len(selected) < shots:
+            progressed = False
+            for user in users:
+                bucket = by_user[user]
+                if cursor < len(bucket):
+                    selected.append(bucket[cursor])
+                    progressed = True
+                    if len(selected) == shots:
+                        break
+            cursor += 1
+            if not progressed:
+                break
+        selected = selected[:shots]
+    else:
+        selected = list(rng.choice(train_indices, size=shots, replace=False))
+    new_splits = DatasetSplits(
+        train=tuple(int(i) for i in selected),
+        validation=dataset.splits.validation,
+        test=dataset.splits.test,
+    )
+    return replace(dataset, splits=new_splits)
+
+
+def few_shot_transfer(
+    source_model: BIGCity,
+    target_dataset: CityDataset,
+    shots: int,
+    finetune_epochs: int = 2,
+    seed: int = 0,
+    training_config: Optional[TrainingConfig] = None,
+    tasks: Optional[Sequence[TaskType]] = None,
+) -> AdaptationResult:
+    """Transfer ``source_model``'s backbone and fine-tune on ``shots`` trajectories."""
+    limited = limit_training_trajectories(target_dataset, shots=shots, seed=seed)
+    model, logs = transfer_backbone(
+        source_model,
+        limited,
+        training_config=training_config,
+        tasks=tasks,
+        finetune_epochs=finetune_epochs,
+    )
+    return AdaptationResult(model=model, shots=min(shots, len(target_dataset.splits.train)), finetune_logs=logs, dataset_name=target_dataset.name)
+
+
+def zero_shot_transfer(
+    source_model: BIGCity,
+    target_dataset: CityDataset,
+) -> AdaptationResult:
+    """Transfer the backbone with no target-city fine-tuning at all.
+
+    The target tokenizer is still constructed from the target road network
+    and traffic statistics (both label-free); every learnable parameter keeps
+    its transferred or freshly initialised value.
+    """
+    model, logs = transfer_backbone(source_model, target_dataset, finetune_epochs=0)
+    return AdaptationResult(model=model, shots=0, finetune_logs=logs, dataset_name=target_dataset.name)
+
+
+def evaluate_adaptation(
+    result: AdaptationResult,
+    dataset: CityDataset,
+    max_eval_samples: int = 40,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Score an adapted model on the Table VI transfer tasks.
+
+    Returns travel-time MAE/RMSE, next-hop accuracy/MRR@5 and the
+    classification micro/macro F1 on the *target* dataset's test split.
+    """
+    model = result.model
+    target = "user" if dataset.has_dynamic_features else "pattern"
+    tte = TravelTimeEvaluator(dataset, max_samples=max_eval_samples, seed=seed)
+    nxt = NextHopEvaluator(dataset, max_samples=max_eval_samples, seed=seed)
+    clas = TrajectoryClassificationEvaluator(dataset, target=target, max_samples=max_eval_samples, seed=seed)
+
+    tte_metrics = tte.evaluate(model.estimate_travel_time)
+    next_metrics = nxt.evaluate(lambda ts: model.predict_next_hop(ts, top_k=10))
+    clas_metrics = clas.evaluate(
+        lambda ts: model.classify_trajectory(ts, target=target),
+        lambda ts: model.classification_scores(ts, target=target),
+    )
+    report = {
+        "shots": float(result.shots),
+        "tte_mae": tte_metrics["mae"],
+        "tte_rmse": tte_metrics["rmse"],
+        "next_acc": next_metrics["acc"],
+        "next_mrr@5": next_metrics["mrr@5"],
+    }
+    for key in ("micro_f1", "macro_f1", "f1", "acc"):
+        if key in clas_metrics:
+            report[f"clas_{key}"] = clas_metrics[key]
+    return report

@@ -1,0 +1,493 @@
+"""The assembled BIGCity model.
+
+``BIGCity`` wires together the spatiotemporal tokenizer (Sec. IV), the
+task-oriented prompt machinery (Sec. V-A), the LoRA-adapted causal backbone
+(Sec. V-B) and the general-task heads (Sec. V-C).  It exposes:
+
+* :meth:`forward_prompts` — run a batch of :class:`~repro.core.prompts.Prompt`
+  objects through the full pipeline, returning the output tokens ``Z``
+  aligned with each prompt's task placeholders;
+* :meth:`prompt_loss` — the multi-task loss of Eq. 16 / Eq. 17;
+* task-level inference helpers (``predict_next_hop``, ``estimate_travel_time``,
+  ``classify_trajectory``, ``trajectory_embeddings``, ``recover_trajectory``,
+  ``predict_traffic_state``, ``impute_traffic_state``) used by the evaluation
+  harness and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backbone import BIGCityBackbone
+from repro.core.config import BIGCityConfig
+from repro.core.heads import GeneralTaskHeads, LabelSpace
+from repro.core.prompts import CLAS, REG, Prompt, PromptBuilder, TaskType, TextTokenizer
+from repro.core.st_unit import STUnitSequence, traffic_series_to_units, trajectory_to_units
+from repro.core.tokenizer import SpatioTemporalTokenizer
+from repro.data.datasets import CityDataset
+from repro.data.timeutils import TimeAxis
+from repro.data.traffic_state import TrafficStateSeries
+from repro.data.trajectory import Trajectory
+from repro.nn import losses
+from repro.nn.layers import Dropout
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import init
+from repro.roadnet.network import RoadNetwork
+from repro.tasks.decoding import constrained_next_hop_ranking, constrained_recovery_choice, gap_candidates
+
+
+@dataclass
+class PromptOutput:
+    """Outputs of the backbone for a single prompt."""
+
+    prompt: Prompt
+    #: Output tokens ``Z`` aligned with the prompt's placeholders, ``(K, d_model)``.
+    task_outputs: Tensor
+    #: Mean-pooled hidden state over the data (ST-token) positions, ``(d_model,)``.
+    pooled: Tensor
+
+
+class BIGCity(Module):
+    """Multi-task, multi-data-modality spatiotemporal model."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        time_axis: TimeAxis,
+        num_users: int,
+        config: Optional[BIGCityConfig] = None,
+        traffic_states: Optional[TrafficStateSeries] = None,
+        num_patterns: int = 2,
+    ) -> None:
+        super().__init__()
+        self.config = config or BIGCityConfig()
+        self.network = network
+        self.time_axis = time_axis
+        rng = np.random.default_rng(self.config.seed + 101)
+
+        self.label_space = LabelSpace(
+            num_segments=network.num_segments,
+            num_users=max(num_users, 1),
+            num_patterns=num_patterns,
+        )
+        self.text_tokenizer = TextTokenizer()
+        self.prompt_builder = PromptBuilder(self.label_space)
+
+        self.tokenizer = SpatioTemporalTokenizer(
+            network=network,
+            time_axis=time_axis,
+            config=self.config,
+            traffic_states=traffic_states,
+        )
+        self.backbone = BIGCityBackbone(
+            config=self.config,
+            text_vocab_size=self.text_tokenizer.vocab_size,
+        )
+        regression_dim = traffic_states.num_channels if traffic_states is not None else 1
+        self._regression_dim = regression_dim
+        self.heads = GeneralTaskHeads(
+            d_model=self.config.d_model,
+            label_space=self.label_space,
+            regression_dim=regression_dim,
+            config=self.config,
+        )
+
+        #: scale (seconds) used to normalise timestamp-regression targets; one
+        #: minute keeps typical per-step travel intervals in a well-conditioned
+        #: range for the MSE loss of MLP_t.
+        self.time_scale = 60.0
+        d_model = self.config.d_model
+        self.clas_token = Parameter(init.normal((d_model,), std=0.02, rng=rng))
+        self.reg_token = Parameter(init.normal((d_model,), std=0.02, rng=rng))
+        self.mask_token = Parameter(init.normal((d_model,), std=0.02, rng=rng))
+
+        self._traffic_states = traffic_states
+        if traffic_states is not None:
+            flat = traffic_states.values.reshape(-1, traffic_states.num_channels)
+            self._traffic_mean = flat.mean(axis=0)
+            std = flat.std(axis=0)
+            self._traffic_std = np.where(std < 1e-9, 1.0, std)
+        else:
+            self._traffic_mean = np.zeros(regression_dim)
+            self._traffic_std = np.ones(regression_dim)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: CityDataset, config: Optional[BIGCityConfig] = None) -> "BIGCity":
+        """Build a BIGCity model sized for a :class:`CityDataset`."""
+        num_users = max((t.user_id for t in dataset.trajectories), default=0) + 1
+        return cls(
+            network=dataset.network,
+            time_axis=dataset.time_axis,
+            num_users=num_users,
+            config=config,
+            traffic_states=dataset.traffic_states,
+        )
+
+    # ------------------------------------------------------------------
+    # Sequence helpers
+    # ------------------------------------------------------------------
+    def sequence_from_trajectory(self, trajectory: Trajectory) -> STUnitSequence:
+        return trajectory_to_units(trajectory, self._traffic_states)
+
+    def sequence_from_traffic(self, segment_id: int, start_slice: int, num_slices: int) -> STUnitSequence:
+        if self._traffic_states is None:
+            raise RuntimeError("this model was built without traffic states")
+        return traffic_series_to_units(self._traffic_states, segment_id, start_slice, num_slices)
+
+    def normalise_traffic(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values, dtype=np.float64) - self._traffic_mean) / self._traffic_std
+
+    def denormalise_traffic(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64) * self._traffic_std + self._traffic_mean
+
+    # ------------------------------------------------------------------
+    # Prompt assembly and forward pass
+    # ------------------------------------------------------------------
+    def _assemble_prompt(
+        self,
+        prompt: Prompt,
+        st_tokens: Tensor,
+        static_cache: Optional[Tensor] = None,
+    ) -> Tuple[List[Tensor], List[int], Tuple[int, int]]:
+        """Build the embedded prompt sequence for one prompt.
+
+        Returns ``(rows, task_positions, data_span)`` where ``rows`` is the
+        list of per-position embeddings, ``task_positions`` the indices of
+        the task placeholders within the assembled sequence, and
+        ``data_span`` the ``(start, stop)`` range occupied by the ST tokens.
+
+        Task tokens are the learnable ``[CLAS]`` / ``[REG]`` vectors plus the
+        anchor information attached by the prompt builder (the partially
+        filled ST tokens of Fig. 3).
+        """
+        rows: List[Tensor] = []
+        if self.config.use_prompts:
+            text_ids = self.text_tokenizer.encode(prompt.instruction)
+            text_embeddings = self.backbone.embed_text(text_ids)
+            for index in range(text_embeddings.shape[0]):
+                rows.append(text_embeddings[index])
+        data_start = len(rows)
+        masked = set(prompt.mask_positions)
+        for position in range(st_tokens.shape[0]):
+            if position in masked:
+                rows.append(self.mask_token)
+            else:
+                rows.append(st_tokens[position])
+        data_stop = len(rows)
+        task_positions: List[int] = []
+        anchors = prompt.anchors if prompt.anchors else (None,) * len(prompt.placeholders)
+        for kind, anchor in zip(prompt.placeholders, anchors):
+            task_positions.append(len(rows))
+            token = self.clas_token if kind == CLAS else self.reg_token
+            if anchor is not None:
+                if anchor.kind == "data":
+                    token = token + st_tokens[anchor.position]
+                else:
+                    token = token + self.tokenizer.encode_partial(
+                        segment_id=anchor.segment_id,
+                        timestamp=anchor.timestamp,
+                        static_cache=static_cache,
+                    )
+            rows.append(token)
+        return rows, task_positions, (data_start, data_stop)
+
+    def forward_prompts(self, prompts: Sequence[Prompt], traffic_override: Optional[np.ndarray] = None) -> List[PromptOutput]:
+        """Run a batch of prompts through tokenizer, backbone and gather ``Z``."""
+        if not prompts:
+            return []
+        sequences = [p.sequence for p in prompts]
+        masks = [p.time_feature_mask for p in prompts]
+        st_token_list = self.tokenizer.encode_batch(sequences, time_feature_masks=masks, traffic_override=traffic_override)
+
+        needs_static = any(
+            anchor is not None and anchor.kind == "partial" and anchor.segment_id is not None
+            for prompt in prompts
+            for anchor in (prompt.anchors or ())
+        )
+        static_cache = self.tokenizer.static_representations() if needs_static else None
+
+        assembled: List[Tuple[List[Tensor], List[int], Tuple[int, int]]] = []
+        for prompt, st_tokens in zip(prompts, st_token_list):
+            assembled.append(self._assemble_prompt(prompt, st_tokens, static_cache=static_cache))
+
+        max_length = max(len(rows) for rows, _, _ in assembled)
+        if max_length > self.config.max_position:
+            raise ValueError(
+                f"prompt length {max_length} exceeds the backbone's max_position "
+                f"{self.config.max_position}; shorten the input or enlarge the config"
+            )
+        d_model = self.config.d_model
+        zero_row = Tensor(np.zeros(d_model))
+        padded_rows: List[Tensor] = []
+        padding_mask = np.zeros((len(prompts), max_length), dtype=bool)
+        for batch_index, (rows, _, _) in enumerate(assembled):
+            padding = [zero_row] * (max_length - len(rows))
+            padded_rows.append(Tensor.stack(rows + padding, axis=0))
+            padding_mask[batch_index, len(rows):] = True
+        batch_embeddings = Tensor.stack(padded_rows, axis=0)
+
+        hidden = self.backbone(batch_embeddings, padding_mask=padding_mask)
+
+        outputs: List[PromptOutput] = []
+        for batch_index, (prompt, (rows, task_positions, data_span)) in enumerate(zip(prompts, assembled)):
+            if task_positions:
+                task_rows = [hidden[batch_index, position] for position in task_positions]
+                task_outputs = Tensor.stack(task_rows, axis=0)
+            else:
+                task_outputs = Tensor(np.zeros((0, d_model)))
+            data_rows = [hidden[batch_index, position] for position in range(data_span[0], data_span[1])]
+            pooled = Tensor.stack(data_rows, axis=0).mean(axis=0) if data_rows else Tensor(np.zeros(d_model))
+            outputs.append(PromptOutput(prompt=prompt, task_outputs=task_outputs, pooled=pooled))
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Losses
+    # ------------------------------------------------------------------
+    def prompt_loss(self, prompts: Sequence[Prompt], traffic_override: Optional[np.ndarray] = None) -> Tuple[Tensor, Dict[str, float]]:
+        """Multi-task loss over a batch of prompts (Eq. 16 for stage 1, Eq. 17 for stage 2).
+
+        Returns the scalar loss tensor plus a breakdown dictionary with float
+        values (for logging).
+        """
+        outputs = self.forward_prompts(prompts, traffic_override=traffic_override)
+        total: Optional[Tensor] = None
+        breakdown = {"clas": 0.0, "reg": 0.0, "tim": 0.0, "count": 0.0}
+
+        def accumulate(term: Optional[Tensor], weight: float, key: str) -> None:
+            nonlocal total
+            if term is None:
+                return
+            weighted = term * weight
+            total = weighted if total is None else total + weighted
+            breakdown[key] += float(term.item())
+            breakdown["count"] += 1.0
+
+        for output in outputs:
+            prompt = output.prompt
+            clas_term = self._classification_loss(prompt, output)
+            reg_term = self._regression_loss(prompt, output)
+            tim_term = self._timestamp_loss(prompt, output)
+            accumulate(clas_term, 1.0, "clas")
+            accumulate(reg_term, self.config.lambda_reg, "reg")
+            accumulate(tim_term, self.config.lambda_tim, "tim")
+
+        if total is None:
+            total = Tensor(np.zeros(()), requires_grad=False)
+        else:
+            total = total * (1.0 / max(len(outputs), 1))
+        breakdown["total"] = float(total.item())
+        return total, breakdown
+
+    def _clas_indices(self, prompt: Prompt) -> List[int]:
+        return [i for i, kind in enumerate(prompt.placeholders) if kind == CLAS]
+
+    def _reg_indices(self, prompt: Prompt) -> List[int]:
+        return [i for i, kind in enumerate(prompt.placeholders) if kind == REG]
+
+    def _classification_loss(self, prompt: Prompt, output: PromptOutput) -> Optional[Tensor]:
+        indices = self._clas_indices(prompt)
+        targets = [t for t in prompt.classification_targets if t >= 0]
+        if not indices or not targets or len(targets) != len(indices):
+            return None
+        rows = Tensor.stack([output.task_outputs[i] for i in indices], axis=0)
+        logits = self.heads.classification_logits(rows)
+        return losses.cross_entropy(logits, np.asarray(targets, dtype=np.int64))
+
+    def _regression_loss(self, prompt: Prompt, output: PromptOutput) -> Optional[Tensor]:
+        indices = self._reg_indices(prompt)
+        if not indices or not prompt.regression_targets:
+            return None
+        targets = [np.asarray(t, dtype=np.float64) for t in prompt.regression_targets]
+        if any(t.size == 0 for t in targets):
+            return None
+        if len(targets) != len(indices):
+            return None
+        rows = Tensor.stack([output.task_outputs[i] for i in indices], axis=0)
+        predictions = self.heads.regression_prediction(rows)
+        normalised_targets = np.stack([self.normalise_traffic(t) for t in targets])
+        return losses.mse_loss(predictions, normalised_targets)
+
+    def _timestamp_loss(self, prompt: Prompt, output: PromptOutput) -> Optional[Tensor]:
+        indices = self._reg_indices(prompt)
+        if not indices or not prompt.timestamp_targets:
+            return None
+        if len(prompt.timestamp_targets) != len(indices):
+            return None
+        rows = Tensor.stack([output.task_outputs[i] for i in indices], axis=0)
+        predictions = self.heads.timestamp_prediction(rows).reshape(len(indices))
+        targets = np.asarray(prompt.timestamp_targets, dtype=np.float64) / self.time_scale
+        return losses.mse_loss(predictions, targets)
+
+    # ------------------------------------------------------------------
+    # Inference helpers (all run without building a gradient graph)
+    # ------------------------------------------------------------------
+    def predict_next_hop(
+        self,
+        trajectories: Sequence[Trajectory],
+        top_k: int = 5,
+        constrain_to_network: bool = True,
+    ) -> List[np.ndarray]:
+        """Ranked candidate next segments for each trajectory (best first).
+
+        With ``constrain_to_network=True`` (the default, matching the paper's
+        road-network scenario) graph successors of the last observed segment
+        are ranked ahead of unreachable segments; set it to ``False`` to rank
+        the raw segment logits.
+        """
+        prompts = [self.prompt_builder.next_hop(self.sequence_from_trajectory(t)) for t in trajectories]
+        with no_grad():
+            outputs = self.forward_prompts(prompts)
+            rankings = []
+            for trajectory, output in zip(trajectories, outputs):
+                logits = self.heads.classification_logits(output.task_outputs, family="segment").data[0]
+                if constrain_to_network:
+                    # The prompt predicts the hop after the second-to-last
+                    # sample (the builder strips the final sample itself), so
+                    # the constraint anchors on that segment.
+                    anchor = int(trajectory.segments[-2]) if len(trajectory) >= 2 else int(trajectory.segments[-1])
+                    rankings.append(
+                        constrained_next_hop_ranking(logits, anchor, self.network, top_k=top_k)
+                    )
+                else:
+                    rankings.append(np.argsort(-logits)[:top_k])
+        return rankings
+
+    def estimate_travel_time(self, trajectories: Sequence[Trajectory]) -> np.ndarray:
+        """Predicted total travel time in seconds for each trajectory."""
+        prompts = [self.prompt_builder.travel_time(self.sequence_from_trajectory(t)) for t in trajectories]
+        with no_grad():
+            outputs = self.forward_prompts(prompts)
+            estimates = []
+            for output in outputs:
+                intervals = self.heads.timestamp_prediction(output.task_outputs).data.reshape(-1)
+                estimates.append(float(np.clip(intervals, 0.0, None).sum() * self.time_scale))
+        return np.asarray(estimates)
+
+    def classify_trajectory(self, trajectories: Sequence[Trajectory], target: str = "user") -> np.ndarray:
+        """Predicted class index (within the chosen family) for each trajectory."""
+        family = "user" if target == "user" else "pattern"
+        prompts = [
+            self.prompt_builder.classification(self.sequence_from_trajectory(t), target=target)
+            for t in trajectories
+        ]
+        with no_grad():
+            outputs = self.forward_prompts(prompts)
+            predictions = []
+            for output in outputs:
+                logits = self.heads.classification_logits(output.task_outputs, family=family).data[0]
+                predictions.append(int(np.argmax(logits)))
+        return np.asarray(predictions, dtype=np.int64)
+
+    def classification_scores(self, trajectories: Sequence[Trajectory], target: str = "user") -> np.ndarray:
+        """Softmax scores over the chosen family (used for AUC on the binary task)."""
+        family = "user" if target == "user" else "pattern"
+        prompts = [
+            self.prompt_builder.classification(self.sequence_from_trajectory(t), target=target)
+            for t in trajectories
+        ]
+        with no_grad():
+            outputs = self.forward_prompts(prompts)
+            scores = []
+            for output in outputs:
+                logits = self.heads.classification_logits(output.task_outputs, family=family).data[0]
+                exp = np.exp(logits - logits.max())
+                scores.append(exp / exp.sum())
+        return np.stack(scores)
+
+    def trajectory_embeddings(self, trajectories: Sequence[Trajectory], batch_size: int = 16) -> np.ndarray:
+        """Dense embeddings used for most-similar trajectory search."""
+        embeddings = []
+        with no_grad():
+            for start in range(0, len(trajectories), batch_size):
+                chunk = trajectories[start : start + batch_size]
+                prompts = [self.prompt_builder.similarity(self.sequence_from_trajectory(t)) for t in chunk]
+                outputs = self.forward_prompts(prompts)
+                for output in outputs:
+                    embeddings.append(output.pooled.data.copy())
+        return np.stack(embeddings)
+
+    def recover_trajectory(
+        self,
+        trajectory: Trajectory,
+        kept_indices: Sequence[int],
+        constrain_to_network: bool = True,
+    ) -> np.ndarray:
+        """Predicted segment ids at the masked positions of a low-rate trajectory.
+
+        With ``constrain_to_network=True`` each masked position is decoded
+        among the segments reachable from the surrounding observed samples
+        (map-constrained decoding, as in the recovery baselines); with
+        ``False`` the raw segment logits are argmax-decoded.
+        """
+        sequence = self.sequence_from_trajectory(trajectory)
+        prompt = self.prompt_builder.recovery(sequence, kept_indices)
+        with no_grad():
+            output = self.forward_prompts([prompt])[0]
+            logits = self.heads.classification_logits(output.task_outputs, family="segment").data
+        if not constrain_to_network:
+            return np.argmax(logits, axis=-1)
+        kept = np.asarray(sorted(int(i) for i in kept_indices), dtype=np.int64)
+        missing = np.setdiff1d(np.arange(len(trajectory)), kept)
+        recovered = []
+        for row, position in zip(logits, missing):
+            previous_kept = int(kept[kept < position].max())
+            next_kept = int(kept[kept > position].min())
+            candidates = gap_candidates(
+                self.network,
+                previous_segment=int(trajectory.segments[previous_kept]),
+                next_segment=int(trajectory.segments[next_kept]),
+                gap_length=next_kept - previous_kept - 1,
+            )
+            recovered.append(constrained_recovery_choice(row, candidates))
+        return np.asarray(recovered, dtype=np.int64)
+
+    def predict_traffic_state(self, segment_id: int, start_slice: int, history: int, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` traffic states of one segment (denormalised)."""
+        history_sequence = self.sequence_from_traffic(segment_id, start_slice, history)
+        dummy_targets = np.zeros((horizon, self._regression_dim))
+        prompt = self.prompt_builder.traffic_prediction(history_sequence, dummy_targets, multi_step=horizon > 1)
+        with no_grad():
+            output = self.forward_prompts([prompt])[0]
+            predictions = self.heads.regression_prediction(output.task_outputs).data
+        return self.denormalise_traffic(predictions)
+
+    def impute_traffic_state(
+        self,
+        segment_id: int,
+        start_slice: int,
+        num_slices: int,
+        masked_positions: Sequence[int],
+        traffic_override: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Impute masked traffic states of one segment (denormalised)."""
+        sequence = self.sequence_from_traffic(segment_id, start_slice, num_slices)
+        prompt = self.prompt_builder.traffic_imputation(sequence, masked_positions)
+        with no_grad():
+            output = self.forward_prompts([prompt], traffic_override=traffic_override)[0]
+            predictions = self.heads.regression_prediction(output.task_outputs).data
+        return self.denormalise_traffic(predictions)
+
+    # ------------------------------------------------------------------
+    def trainable_parameters(self):
+        return [p for p in self.parameters() if p.requires_grad]
+
+    def parameter_summary(self) -> Dict[str, int]:
+        """Parameter counts per component (used by the efficiency experiments)."""
+        return {
+            "tokenizer": self.tokenizer.num_parameters(),
+            "backbone_total": self.backbone.total_parameter_count(),
+            "backbone_trainable": self.backbone.trainable_parameter_count(),
+            "heads": self.heads.num_parameters(),
+            "total": self.num_parameters(),
+            "trainable": self.num_parameters(trainable_only=True),
+        }
+
+    def forward(self, prompts: Sequence[Prompt]) -> List[PromptOutput]:
+        return self.forward_prompts(prompts)

@@ -1,0 +1,198 @@
+"""ST-units: the unified representation of trajectories and traffic states.
+
+Sec. IV-A of the paper defines the basic spatiotemporal unit as the triple
+``U_{i, tau} = (e^(s)_i, e^(d)_{i, t_tau}, iota_tau)`` — a road segment with
+its traffic state sampled at a specific time.  Both trajectories (Eq. 3) and
+traffic-state series (Eq. 2) become sequences of such units, which is what
+lets a single model process both modalities.
+
+For efficient batch processing the sequence form is array-based:
+:class:`STUnitSequence` stores segment ids, timestamps and (optionally)
+dynamic features for all units of one sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.timeutils import TimeAxis, timestamp_features
+from repro.data.traffic_state import TrafficStateSeries
+from repro.data.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class STUnit:
+    """A single spatiotemporal unit ``(segment, traffic state, sampling time)``."""
+
+    segment_id: int
+    timestamp: float
+    static_features: np.ndarray
+    dynamic_features: Optional[np.ndarray]
+    time_features: np.ndarray
+
+    @property
+    def has_dynamic(self) -> bool:
+        return self.dynamic_features is not None
+
+
+@dataclass
+class STUnitSequence:
+    """A sequence of ST-units representing a trajectory or a traffic-state series.
+
+    Attributes
+    ----------
+    segment_ids:
+        ``(L,)`` road-segment id of every unit.
+    timestamps:
+        ``(L,)`` sampling timestamps (seconds).
+    dynamic_features:
+        ``(L, D_d)`` dynamic features, or ``None`` when the dataset has no
+        traffic states (the paper sets ``e^(d) = NULL`` in that case).
+    kind:
+        ``"trajectory"`` or ``"traffic_state"`` — only used for bookkeeping,
+        the downstream model treats both identically.
+    source_id:
+        Trajectory id or segment id of the originating object.
+    user_id / label:
+        Supervision carried along for the trajectory tasks.
+    """
+
+    segment_ids: np.ndarray
+    timestamps: np.ndarray
+    dynamic_features: Optional[np.ndarray]
+    kind: str
+    source_id: int = -1
+    user_id: int = -1
+    label: int = -1
+
+    def __post_init__(self) -> None:
+        self.segment_ids = np.asarray(self.segment_ids, dtype=np.int64)
+        self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+        if self.segment_ids.shape != self.timestamps.shape:
+            raise ValueError("segment_ids and timestamps must align")
+        if self.segment_ids.ndim != 1 or len(self.segment_ids) < 1:
+            raise ValueError("an ST-unit sequence must be a non-empty 1-D sequence")
+        if self.dynamic_features is not None:
+            self.dynamic_features = np.asarray(self.dynamic_features, dtype=np.float64)
+            if self.dynamic_features.shape[0] != len(self.segment_ids):
+                raise ValueError("dynamic features must have one row per unit")
+        if self.kind not in ("trajectory", "traffic_state"):
+            raise ValueError("kind must be 'trajectory' or 'traffic_state'")
+
+    def __len__(self) -> int:
+        return len(self.segment_ids)
+
+    @property
+    def has_dynamic(self) -> bool:
+        return self.dynamic_features is not None
+
+    def time_features(self, slice_seconds: float = 1800.0) -> np.ndarray:
+        """Per-unit timestamp feature vectors ``iota_tau`` (Definition 4)."""
+        return np.stack([timestamp_features(t, slice_seconds) for t in self.timestamps])
+
+    def time_intervals(self) -> np.ndarray:
+        """Per-unit interval ``delta tau_l = tau_l - tau_{l-1}`` with a leading zero."""
+        intervals = np.zeros(len(self), dtype=np.float64)
+        if len(self) > 1:
+            intervals[1:] = np.diff(self.timestamps)
+        return intervals
+
+    def slice(self, start: int, stop: int) -> "STUnitSequence":
+        return STUnitSequence(
+            segment_ids=self.segment_ids[start:stop].copy(),
+            timestamps=self.timestamps[start:stop].copy(),
+            dynamic_features=None if self.dynamic_features is None else self.dynamic_features[start:stop].copy(),
+            kind=self.kind,
+            source_id=self.source_id,
+            user_id=self.user_id,
+            label=self.label,
+        )
+
+    def take(self, indices: Sequence[int]) -> "STUnitSequence":
+        indices = np.asarray(indices, dtype=np.int64)
+        return STUnitSequence(
+            segment_ids=self.segment_ids[indices].copy(),
+            timestamps=self.timestamps[indices].copy(),
+            dynamic_features=None if self.dynamic_features is None else self.dynamic_features[indices].copy(),
+            kind=self.kind,
+            source_id=self.source_id,
+            user_id=self.user_id,
+            label=self.label,
+        )
+
+    def units(self, static_features: np.ndarray, slice_seconds: float = 1800.0) -> List[STUnit]:
+        """Materialise the sequence into individual :class:`STUnit` objects."""
+        time_feats = self.time_features(slice_seconds)
+        out = []
+        for position in range(len(self)):
+            segment = int(self.segment_ids[position])
+            dynamic = None if self.dynamic_features is None else self.dynamic_features[position]
+            out.append(
+                STUnit(
+                    segment_id=segment,
+                    timestamp=float(self.timestamps[position]),
+                    static_features=static_features[segment],
+                    dynamic_features=dynamic,
+                    time_features=time_feats[position],
+                )
+            )
+        return out
+
+
+def trajectory_to_units(
+    trajectory: Trajectory,
+    traffic_states: Optional[TrafficStateSeries] = None,
+) -> STUnitSequence:
+    """ST-unit sequence of a trajectory (Eq. 3).
+
+    When ``traffic_states`` is provided, the dynamic feature of each unit is
+    the traffic state of the visited segment at the time slice containing the
+    sample's timestamp; otherwise dynamic features are ``NULL`` as in the
+    paper's BJ dataset.
+    """
+    dynamic = None
+    if traffic_states is not None:
+        dynamic = np.stack(
+            [traffic_states.at(segment, timestamp) for segment, timestamp in zip(trajectory.segments, trajectory.timestamps)]
+        )
+    return STUnitSequence(
+        segment_ids=trajectory.segment_array(),
+        timestamps=trajectory.timestamp_array(),
+        dynamic_features=dynamic,
+        kind="trajectory",
+        source_id=trajectory.trajectory_id,
+        user_id=trajectory.user_id,
+        label=-1 if trajectory.label is None else int(trajectory.label),
+    )
+
+
+def traffic_series_to_units(
+    traffic_states: TrafficStateSeries,
+    segment_id: int,
+    start_slice: int = 0,
+    num_slices: Optional[int] = None,
+) -> STUnitSequence:
+    """ST-unit sequence of one segment's traffic-state series (Eq. 2).
+
+    Every unit refers to the same road segment; the timestamp of unit ``t``
+    is the start time of time slice ``t`` and its dynamic feature is the
+    traffic state of that slice.
+    """
+    axis = traffic_states.time_axis
+    if num_slices is None:
+        num_slices = axis.num_slices - start_slice
+    if start_slice < 0 or start_slice + num_slices > axis.num_slices:
+        raise ValueError("requested slice range is outside the time axis")
+    slices = np.arange(start_slice, start_slice + num_slices)
+    timestamps = np.array([axis.slice_start(int(t)) for t in slices])
+    dynamic = traffic_states.segment_series(segment_id)[slices]
+    return STUnitSequence(
+        segment_ids=np.full(num_slices, segment_id, dtype=np.int64),
+        timestamps=timestamps,
+        dynamic_features=dynamic,
+        kind="traffic_state",
+        source_id=segment_id,
+    )

@@ -1,0 +1,330 @@
+"""The spatiotemporal tokenizer (Sec. IV-B).
+
+The tokenizer turns ST-unit sequences into ST tokens through four modules:
+
+* **static feature encoder** — a GAT over the road network's static features
+  (Eq. 4), producing ``H^(s)``;
+* **dynamic feature encoder** — a GAT over the dynamic road network whose node
+  features are the concatenated traffic-state history window (Eq. 5),
+  producing ``H^(d)_t`` for a given time slice ``t``;
+* **fusion encoder** — a cross-attention over all segments that fuses static
+  and dynamic representations into ``s_{i,t}`` capturing long-range
+  dependencies (Eq. 6–7);
+* **temporal integration** — an MLP combining the fused spatial
+  representation with the timestamp features and the inter-sample interval
+  ``delta tau`` into the final ST token (Eq. 8).
+
+The static representation is shared by every token; dynamic/fused
+representations are computed once per time slice appearing in a batch and
+cached for the duration of that forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import BIGCityConfig
+from repro.core.st_unit import STUnitSequence
+from repro.data.timeutils import TIMESTAMP_FEATURE_DIM, TimeAxis, timestamp_features
+from repro.data.traffic_state import TrafficStateSeries
+from repro.nn.attention import CrossAttentionPool
+from repro.nn.gat import GAT
+from repro.nn.layers import MLP, Embedding, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+from repro.roadnet.network import RoadNetwork
+
+
+class SpatioTemporalTokenizer(Module):
+    """Encode ST-unit sequences into ST-token sequences."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        time_axis: TimeAxis,
+        config: Optional[BIGCityConfig] = None,
+        traffic_states: Optional[TrafficStateSeries] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or BIGCityConfig()
+        self.network = network
+        self.time_axis = time_axis
+        rng = np.random.default_rng(self.config.seed)
+
+        hidden = self.config.hidden_dim
+        self._static_features = network.static_features
+        self._adjacency = network.adjacency.astype(bool)
+
+        if self.config.use_static_encoder:
+            self.static_gat = GAT(
+                in_features=network.static_feature_dim,
+                hidden_features=hidden,
+                out_features=hidden,
+                num_layers=self.config.gat_layers,
+                num_heads=self.config.gat_heads,
+                rng=rng,
+            )
+            self.static_ffn = Linear(hidden, hidden, rng=rng)
+            # Definition 1 lists the road ID among the static attributes; a
+            # learnable per-segment embedding carries that identity alongside
+            # the GAT-encoded topology/attribute features.
+            self.segment_id_embedding = Embedding(network.num_segments, hidden, rng=rng, std=0.5)
+        else:
+            self.static_gat = None
+            self.static_ffn = None
+            self.segment_id_embedding = None
+
+        self._traffic_values: Optional[np.ndarray] = None
+        self._traffic_mean: Optional[np.ndarray] = None
+        self._traffic_std: Optional[np.ndarray] = None
+        self.num_channels = 0
+        if self.config.use_dynamic_encoder and traffic_states is not None:
+            self.num_channels = traffic_states.num_channels
+            window = self.config.history_window
+            self.dynamic_gat = GAT(
+                in_features=self.num_channels * (window + 1),
+                hidden_features=hidden,
+                out_features=hidden,
+                num_layers=self.config.gat_layers,
+                num_heads=self.config.gat_heads,
+                rng=rng,
+            )
+            self.dynamic_ffn = Linear(hidden, hidden, rng=rng)
+            self.set_traffic_states(traffic_states)
+        else:
+            self.dynamic_gat = None
+            self.dynamic_ffn = None
+
+        fused_dim = hidden * (int(self.has_static_encoder) + int(self.has_dynamic_encoder))
+        self._fused_dim = fused_dim
+        if self.config.use_fusion:
+            self.fusion = CrossAttentionPool(fused_dim, rng=rng)
+        else:
+            self.fusion = None
+
+        token_input = fused_dim + TIMESTAMP_FEATURE_DIM + 1  # + delta tau
+        self.token_mlp = MLP(
+            in_features=token_input,
+            hidden_features=[2 * self.config.d_model],
+            out_features=self.config.d_model,
+            activation="gelu",
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def has_static_encoder(self) -> bool:
+        return self.static_gat is not None
+
+    @property
+    def has_dynamic_encoder(self) -> bool:
+        return self.dynamic_gat is not None
+
+    @property
+    def d_model(self) -> int:
+        return self.config.d_model
+
+    @property
+    def fused_dim(self) -> int:
+        return self._fused_dim
+
+    # ------------------------------------------------------------------
+    # Traffic-state plumbing
+    # ------------------------------------------------------------------
+    def set_traffic_states(self, traffic_states: TrafficStateSeries) -> None:
+        """Register (and z-score) the traffic tensor used by the dynamic encoder."""
+        values = traffic_states.values
+        mean = values.reshape(-1, values.shape[-1]).mean(axis=0)
+        std = values.reshape(-1, values.shape[-1]).std(axis=0)
+        std = np.where(std < 1e-9, 1.0, std)
+        self._traffic_values = values
+        self._traffic_mean = mean
+        self._traffic_std = std
+
+    def _normalised_traffic(self, traffic_override: Optional[np.ndarray]) -> np.ndarray:
+        values = self._traffic_values if traffic_override is None else traffic_override
+        if values is None:
+            raise RuntimeError("the dynamic encoder is enabled but no traffic states were registered")
+        return (values - self._traffic_mean) / self._traffic_std
+
+    def _dynamic_window_features(self, slice_index: int, traffic: np.ndarray) -> np.ndarray:
+        """Concatenated history window ``~e^(d)_t`` for every segment (Eq. 5)."""
+        window = self.config.history_window
+        pieces = []
+        for t in range(slice_index - window, slice_index + 1):
+            if t < 0:
+                pieces.append(np.zeros((traffic.shape[0], traffic.shape[2])))
+            else:
+                pieces.append(traffic[:, t, :])
+        return np.concatenate(pieces, axis=1)
+
+    # ------------------------------------------------------------------
+    # Spatial representations
+    # ------------------------------------------------------------------
+    def static_representations(self) -> Optional[Tensor]:
+        """``H^(s)``: static representation of every segment (Eq. 4).
+
+        The GAT encodes the attribute/topology features; the road-ID
+        embedding (part of the static attributes per Definition 1) is added
+        so that every segment keeps a distinguishable identity.
+        """
+        if not self.has_static_encoder:
+            return None
+        features = Tensor(self._static_features)
+        encoded = self.static_ffn(self.static_gat(features, self._adjacency))
+        identity = self.segment_id_embedding(np.arange(self.network.num_segments))
+        return encoded + identity
+
+    def dynamic_representations(self, slice_index: int, traffic_override: Optional[np.ndarray] = None) -> Optional[Tensor]:
+        """``H^(d)_t``: dynamic representation of every segment at a slice (Eq. 5)."""
+        if not self.has_dynamic_encoder:
+            return None
+        traffic = self._normalised_traffic(traffic_override)
+        window_features = self._dynamic_window_features(slice_index, traffic)
+        return self.dynamic_ffn(self.dynamic_gat(Tensor(window_features), self._adjacency))
+
+    def fused_representations(
+        self,
+        slice_indices: Sequence[int],
+        traffic_override: Optional[np.ndarray] = None,
+    ) -> Dict[int, Tensor]:
+        """Fused spatial representations ``s_{i, t}`` for each requested slice.
+
+        Returns a mapping ``slice_index -> (num_segments, fused_dim)`` tensor.
+        The static part is computed once and shared across slices.
+        """
+        unique_slices = sorted({int(s) for s in slice_indices})
+        static = self.static_representations()
+        fused: Dict[int, Tensor] = {}
+        for slice_index in unique_slices:
+            parts: List[Tensor] = []
+            if static is not None:
+                parts.append(static)
+            dynamic = self.dynamic_representations(slice_index, traffic_override)
+            if dynamic is not None:
+                parts.append(dynamic)
+            h = parts[0] if len(parts) == 1 else Tensor.concat(parts, axis=-1)
+            fused[slice_index] = self.fusion(h) if self.fusion is not None else h
+        return fused
+
+    # ------------------------------------------------------------------
+    # Token construction
+    # ------------------------------------------------------------------
+    def encode_sequence(
+        self,
+        sequence: STUnitSequence,
+        time_feature_mask: Optional[np.ndarray] = None,
+        traffic_override: Optional[np.ndarray] = None,
+        fused_cache: Optional[Dict[int, Tensor]] = None,
+    ) -> Tensor:
+        """Encode one ST-unit sequence into ``(L, d_model)`` ST tokens (Eq. 8).
+
+        Parameters
+        ----------
+        sequence:
+            The ST-unit sequence (trajectory or traffic-state series).
+        time_feature_mask:
+            Optional boolean ``(L,)`` array; where ``True`` the timestamp
+            features and the interval are zeroed.  This implements the
+            "ST token without temporal features" variant of the TTE prompt
+            template (Fig. 3b).
+        traffic_override:
+            Optional replacement traffic tensor (used by the imputation task
+            so that masked cells are not leaked through the dynamic encoder).
+        fused_cache:
+            Pre-computed fused representations (from :meth:`fused_representations`)
+            to share across several sequences of the same batch.
+        """
+        slice_indices = [self.time_axis.slice_of(t) for t in sequence.timestamps]
+        if fused_cache is None:
+            fused_cache = self.fused_representations(slice_indices, traffic_override)
+        missing = [s for s in set(slice_indices) if s not in fused_cache]
+        if missing:
+            fused_cache.update(self.fused_representations(missing, traffic_override))
+
+        time_feats = sequence.time_features(self.time_axis.slice_seconds)
+        intervals = sequence.time_intervals() / self.time_axis.slice_seconds
+        if time_feature_mask is not None:
+            mask = np.asarray(time_feature_mask, dtype=bool)
+            time_feats = np.where(mask[:, None], 0.0, time_feats)
+            intervals = np.where(mask, 0.0, intervals)
+
+        spatial_rows: List[Tensor] = []
+        for position, (segment, slice_index) in enumerate(zip(sequence.segment_ids, slice_indices)):
+            spatial_rows.append(fused_cache[slice_index][int(segment)])
+        spatial = Tensor.stack(spatial_rows, axis=0)
+        temporal = Tensor(np.concatenate([time_feats, intervals[:, None]], axis=1))
+        return self.token_mlp(Tensor.concat([spatial, temporal], axis=-1))
+
+    def encode_batch(
+        self,
+        sequences: Sequence[STUnitSequence],
+        time_feature_masks: Optional[Sequence[Optional[np.ndarray]]] = None,
+        traffic_override: Optional[np.ndarray] = None,
+    ) -> List[Tensor]:
+        """Encode several sequences, sharing the per-slice fused representations.
+
+        Returns a list of ``(L_i, d_model)`` tensors (ragged; padding is the
+        caller's concern because the downstream prompt assembly interleaves
+        these tokens with text and task tokens).
+        """
+        all_slices: List[int] = []
+        for sequence in sequences:
+            all_slices.extend(self.time_axis.slice_of(t) for t in sequence.timestamps)
+        fused_cache = self.fused_representations(all_slices, traffic_override)
+        outputs = []
+        for index, sequence in enumerate(sequences):
+            mask = None
+            if time_feature_masks is not None:
+                mask = time_feature_masks[index]
+            outputs.append(
+                self.encode_sequence(
+                    sequence,
+                    time_feature_mask=mask,
+                    traffic_override=traffic_override,
+                    fused_cache=fused_cache,
+                )
+            )
+        return outputs
+
+    def encode_partial(
+        self,
+        segment_id: Optional[int] = None,
+        timestamp: Optional[float] = None,
+        static_cache: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Encode a *partially known* ST-unit into a ``(d_model,)`` token.
+
+        This realises the partially filled ST tokens annotated in Fig. 3 of
+        the paper: the spatial part uses only the static representation of the
+        segment (never the traffic state), or zeros when the segment is
+        unknown; the temporal part uses the timestamp features, or zeros when
+        the time is unknown.  ``static_cache`` can pass a pre-computed
+        ``static_representations()`` tensor so a batch of partial tokens
+        shares one GAT forward pass.
+        """
+        hidden = self.config.hidden_dim
+        if segment_id is not None and self.has_static_encoder:
+            static = static_cache if static_cache is not None else self.static_representations()
+            spatial_static = static[int(segment_id)]
+        else:
+            spatial_static = Tensor(np.zeros(hidden)) if self.has_static_encoder else None
+        parts: List[Tensor] = []
+        if self.has_static_encoder:
+            parts.append(spatial_static)
+        if self.has_dynamic_encoder:
+            parts.append(Tensor(np.zeros(hidden)))
+        spatial = parts[0] if len(parts) == 1 else Tensor.concat(parts, axis=-1)
+        if timestamp is not None:
+            time_features = timestamp_features(float(timestamp), self.time_axis.slice_seconds)
+        else:
+            time_features = np.zeros(TIMESTAMP_FEATURE_DIM)
+        temporal = Tensor(np.concatenate([time_features, np.zeros(1)]))
+        return self.token_mlp(Tensor.concat([spatial, temporal], axis=-1))
+
+    def forward(self, sequence: STUnitSequence) -> Tensor:
+        return self.encode_sequence(sequence)

@@ -1,0 +1,282 @@
+"""Two-stage training of BIGCity (Sec. VI).
+
+Stage 1 — **masked reconstruction training**: ST-unit sequences from both
+modalities are masked and reconstructed; the ST tokenizer and the LoRA
+modules are trained jointly (Eq. 16).
+
+Stage 2 — **task-oriented prompt tuning**: prompts from every task are mixed
+into a single "full training set" and co-trained (Eq. 17); the tokenizer is
+frozen and only LoRA modules, the task/special tokens and the general-task
+heads are updated.
+
+The trainers operate on laptop-scale synthetic datasets, so an "epoch" takes
+seconds; the structure (what is frozen when, which losses apply) follows the
+paper exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import BIGCityConfig
+from repro.core.model import BIGCity
+from repro.core.prompts import Prompt, TaskType
+from repro.core.st_unit import STUnitSequence, traffic_series_to_units
+from repro.data.datasets import CityDataset
+from repro.data.trajectory import Trajectory, subsample_trajectory
+from repro.nn.optim import Adam, clip_grad_norm
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the two training stages."""
+
+    stage1_epochs: int = 2
+    stage2_epochs: int = 3
+    batch_size: int = 8
+    learning_rate: float = 2e-3
+    stage2_learning_rate: float = 3e-3
+    mask_ratio: float = 0.3
+    grad_clip: float = 5.0
+    #: Tasks included in stage-2 co-training.
+    tasks: Tuple[TaskType, ...] = (
+        TaskType.NEXT_HOP,
+        TaskType.TRAVEL_TIME,
+        TaskType.CLASSIFICATION,
+        TaskType.RECOVERY,
+        TaskType.TRAFFIC_MULTI_STEP,
+        TaskType.TRAFFIC_IMPUTATION,
+    )
+    #: Cap on the number of trajectories used per epoch (keeps CPU time bounded).
+    max_trajectories: Optional[int] = None
+    #: Number of traffic-state sequences sampled per epoch for the traffic tasks.
+    traffic_sequences_per_epoch: int = 32
+    #: History/horizon of the traffic forecasting prompts.
+    traffic_history: int = 6
+    traffic_horizon: int = 6
+    #: Extra next-hop prompts per trajectory cut at random intermediate
+    #: positions (besides the prompt that uses the full prefix).
+    next_hop_augmentation: int = 3
+    #: Mask ratio for recovery prompts during training.
+    recovery_keep_ratio: float = 0.3
+    #: Mask ratio for imputation prompts during training.
+    imputation_mask_ratio: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 < self.mask_ratio < 1.0:
+            raise ValueError("mask_ratio must be in (0, 1)")
+
+
+@dataclass
+class EpochLog:
+    """Loss statistics of a single epoch."""
+
+    epoch: int
+    loss: float
+    breakdown: Dict[str, float]
+    seconds: float
+
+
+class _TrainerBase:
+    def __init__(self, model: BIGCity, dataset: CityDataset, config: Optional[TrainingConfig] = None) -> None:
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainingConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.history: List[EpochLog] = []
+
+    # ------------------------------------------------------------------
+    def _train_trajectories(self) -> List[Trajectory]:
+        trajectories = self.dataset.train_trajectories
+        limit = self.config.max_trajectories
+        if limit is not None and len(trajectories) > limit:
+            index = self._rng.choice(len(trajectories), size=limit, replace=False)
+            trajectories = [trajectories[i] for i in index]
+        return trajectories
+
+    def _traffic_sequences(self, count: int, length: int) -> List[STUnitSequence]:
+        traffic = self.dataset.traffic_states
+        if traffic is None or count <= 0:
+            return []
+        sequences = []
+        max_start = max(traffic.num_slices - length, 1)
+        for _ in range(count):
+            segment = int(self._rng.integers(0, traffic.num_segments))
+            start = int(self._rng.integers(0, max_start))
+            sequences.append(traffic_series_to_units(traffic, segment, start, length))
+        return sequences
+
+    def _run_epoch(self, prompts: List[Prompt], optimizer: Adam, epoch: int) -> EpochLog:
+        start_time = time.perf_counter()
+        order = self._rng.permutation(len(prompts))
+        total_loss = 0.0
+        breakdown_sum: Dict[str, float] = {}
+        batches = 0
+        for start in range(0, len(order), self.config.batch_size):
+            batch = [prompts[i] for i in order[start : start + self.config.batch_size]]
+            optimizer.zero_grad()
+            loss, breakdown = self.model.prompt_loss(batch)
+            if not loss.requires_grad:
+                continue
+            loss.backward()
+            clip_grad_norm(optimizer.parameters, self.config.grad_clip)
+            optimizer.step()
+            total_loss += float(loss.item())
+            for key, value in breakdown.items():
+                breakdown_sum[key] = breakdown_sum.get(key, 0.0) + value
+            batches += 1
+        elapsed = time.perf_counter() - start_time
+        mean_loss = total_loss / max(batches, 1)
+        log = EpochLog(epoch=epoch, loss=mean_loss, breakdown=breakdown_sum, seconds=elapsed)
+        self.history.append(log)
+        return log
+
+
+class MaskedReconstructionTrainer(_TrainerBase):
+    """Stage 1: self-supervised masked reconstruction (Sec. VI-A)."""
+
+    def build_prompts(self) -> List[Prompt]:
+        builder = self.model.prompt_builder
+        prompts: List[Prompt] = []
+        for trajectory in self._train_trajectories():
+            sequence = self.model.sequence_from_trajectory(trajectory)
+            prompts.append(builder.masked_reconstruction(sequence, self.config.mask_ratio, rng=self._rng))
+        length = self.config.traffic_history + self.config.traffic_horizon
+        for sequence in self._traffic_sequences(self.config.traffic_sequences_per_epoch, length):
+            prompts.append(builder.masked_reconstruction(sequence, self.config.mask_ratio, rng=self._rng))
+        return prompts
+
+    def train(self, epochs: Optional[int] = None) -> List[EpochLog]:
+        epochs = epochs if epochs is not None else self.config.stage1_epochs
+        self.model.train()
+        # Without a pretrained GPT-2 checkpoint, masked reconstruction doubles
+        # as the backbone's pre-training: the base transformer weights are
+        # updated here and frozen again before task-oriented prompt tuning.
+        unfroze_backbone = False
+        if getattr(self.model.config, "pretrain_full_backbone", False):
+            self.model.backbone.llm.unfreeze()
+            unfroze_backbone = True
+        optimizer = Adam(self.model.trainable_parameters(), lr=self.config.learning_rate)
+        logs = []
+        for epoch in range(epochs):
+            prompts = self.build_prompts()
+            logs.append(self._run_epoch(prompts, optimizer, epoch))
+        if unfroze_backbone and self.model.config.lora_only:
+            # Restore the paper's setting: frozen base, trainable LoRA only.
+            self.model.backbone.freeze_base()
+        return logs
+
+
+class PromptTuningTrainer(_TrainerBase):
+    """Stage 2: multi-task task-oriented prompt tuning (Sec. VI-B)."""
+
+    def __init__(
+        self,
+        model: BIGCity,
+        dataset: CityDataset,
+        config: Optional[TrainingConfig] = None,
+        tasks: Optional[Sequence[TaskType]] = None,
+    ) -> None:
+        super().__init__(model, dataset, config)
+        self.tasks = tuple(tasks) if tasks is not None else self.config.tasks
+
+    # ------------------------------------------------------------------
+    def build_prompts(self) -> List[Prompt]:
+        """The "full training set": prompts from every enabled task, mixed together."""
+        builder = self.model.prompt_builder
+        prompts: List[Prompt] = []
+        trajectories = self._train_trajectories()
+        classification_target = "user" if self.dataset.has_dynamic_features else "pattern"
+
+        for trajectory in trajectories:
+            sequence = self.model.sequence_from_trajectory(trajectory)
+            if TaskType.NEXT_HOP in self.tasks and len(sequence) >= 3:
+                prompts.append(builder.next_hop(sequence))
+                # Augment with prompts cut at random intermediate positions so
+                # the successor structure of the road graph is seen from many
+                # contexts, not only full-length prefixes.
+                if len(sequence) > 3 and self.config.next_hop_augmentation > 0:
+                    cuts = self._rng.choice(
+                        np.arange(3, len(sequence)),
+                        size=min(self.config.next_hop_augmentation, len(sequence) - 3),
+                        replace=False,
+                    )
+                    for cut in cuts:
+                        prompts.append(builder.next_hop(sequence.slice(0, int(cut))))
+            if TaskType.TRAVEL_TIME in self.tasks:
+                prompts.append(builder.travel_time(sequence))
+            if TaskType.CLASSIFICATION in self.tasks:
+                prompts.append(builder.classification(sequence, target=classification_target))
+            if TaskType.RECOVERY in self.tasks and len(sequence) >= 5:
+                _, kept = subsample_trajectory(trajectory, self.config.recovery_keep_ratio, rng=self._rng)
+                prompts.append(builder.recovery(sequence, kept))
+
+        traffic = self.dataset.traffic_states
+        if traffic is not None:
+            history = self.config.traffic_history
+            horizon = self.config.traffic_horizon
+            count = self.config.traffic_sequences_per_epoch
+            want_traffic = (
+                TaskType.TRAFFIC_ONE_STEP in self.tasks
+                or TaskType.TRAFFIC_MULTI_STEP in self.tasks
+                or TaskType.TRAFFIC_IMPUTATION in self.tasks
+            )
+            if want_traffic:
+                max_start = max(traffic.num_slices - history - horizon, 1)
+                for _ in range(count):
+                    segment = int(self._rng.integers(0, traffic.num_segments))
+                    start = int(self._rng.integers(0, max_start))
+                    history_seq = traffic_series_to_units(traffic, segment, start, history)
+                    target = traffic.segment_series(segment)[start + history : start + history + horizon]
+                    if TaskType.TRAFFIC_MULTI_STEP in self.tasks:
+                        prompts.append(builder.traffic_prediction(history_seq, target, multi_step=True))
+                    if TaskType.TRAFFIC_ONE_STEP in self.tasks:
+                        prompts.append(builder.traffic_prediction(history_seq, target[:1], multi_step=False))
+                    if TaskType.TRAFFIC_IMPUTATION in self.tasks:
+                        full_seq = traffic_series_to_units(traffic, segment, start, history + horizon)
+                        num_masked = max(1, int(round(self.config.imputation_mask_ratio * len(full_seq))))
+                        masked = self._rng.choice(len(full_seq), size=num_masked, replace=False)
+                        prompts.append(builder.traffic_imputation(full_seq, masked))
+        return prompts
+
+    def train(self, epochs: Optional[int] = None, freeze_tokenizer: bool = True) -> List[EpochLog]:
+        epochs = epochs if epochs is not None else self.config.stage2_epochs
+        self.model.train()
+        if freeze_tokenizer:
+            self.model.tokenizer.freeze()
+        parameters = self.model.trainable_parameters()
+        if not parameters:
+            raise RuntimeError("no trainable parameters left for prompt tuning")
+        optimizer = Adam(parameters, lr=self.config.stage2_learning_rate)
+        logs = []
+        for epoch in range(epochs):
+            prompts = self.build_prompts()
+            logs.append(self._run_epoch(prompts, optimizer, epoch))
+        return logs
+
+
+def train_bigcity(
+    dataset: CityDataset,
+    model_config: Optional[BIGCityConfig] = None,
+    training_config: Optional[TrainingConfig] = None,
+    tasks: Optional[Sequence[TaskType]] = None,
+) -> Tuple[BIGCity, Dict[str, List[EpochLog]]]:
+    """End-to-end convenience wrapper: build a model and run both stages.
+
+    Returns the trained model and the per-stage epoch logs.
+    """
+    model = BIGCity.from_dataset(dataset, config=model_config)
+    config = training_config or TrainingConfig()
+    stage1 = MaskedReconstructionTrainer(model, dataset, config)
+    stage1_logs = stage1.train()
+    stage2 = PromptTuningTrainer(model, dataset, config, tasks=tasks)
+    stage2_logs = stage2.train()
+    model.eval()
+    return model, {"stage1": stage1_logs, "stage2": stage2_logs}

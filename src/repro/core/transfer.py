@@ -1,0 +1,70 @@
+"""Cross-city transfer of a trained backbone (Sec. VII-C, Table VI).
+
+The paper pre-trains BIGCity on the large BJ dataset and transfers its
+backbone to the smaller XA/CD datasets: the target city gets its own
+spatiotemporal tokenizer, the transferred backbone stays fixed, and only the
+tokenizer's final MLP (plus the task heads) is fine-tuned on the target data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import BIGCityConfig
+from repro.core.model import BIGCity
+from repro.core.prompts import TaskType
+from repro.core.training import EpochLog, PromptTuningTrainer, TrainingConfig
+from repro.data.datasets import CityDataset
+
+
+def transfer_backbone(
+    source_model: BIGCity,
+    target_dataset: CityDataset,
+    training_config: Optional[TrainingConfig] = None,
+    tasks: Optional[Sequence[TaskType]] = None,
+    finetune_epochs: int = 2,
+) -> Tuple[BIGCity, List[EpochLog]]:
+    """Transfer a trained backbone to a new city and lightly fine-tune.
+
+    Parameters
+    ----------
+    source_model:
+        A BIGCity model trained on the source city (e.g. the BJ-like preset).
+    target_dataset:
+        The target city's dataset; a fresh tokenizer is built for its road
+        network and traffic states.
+    training_config:
+        Fine-tuning hyper-parameters (defaults to a short schedule).
+    tasks:
+        Tasks used for the fine-tuning pass; defaults to the standard stage-2
+        task mix.
+    finetune_epochs:
+        Number of prompt-tuning epochs on the target city.
+
+    Returns
+    -------
+    (transferred_model, fine-tuning epoch logs)
+    """
+    config = source_model.config
+    target_model = BIGCity.from_dataset(target_dataset, config=config)
+
+    # Copy the backbone (frozen base + LoRA adapters) and the shared task
+    # tokens from the source model.  Tokenizer and heads stay city-specific.
+    target_model.backbone.load_state_dict(source_model.backbone.state_dict())
+    target_model.clas_token.data = source_model.clas_token.data.copy()
+    target_model.reg_token.data = source_model.reg_token.data.copy()
+    target_model.mask_token.data = source_model.mask_token.data.copy()
+
+    # Freeze everything except: the tokenizer's final MLP, the task heads and
+    # the special tokens.  This mirrors "only fine-tuned the last MLP layer of
+    # tokenizers" in the paper (the heads must adapt to the new label space).
+    target_model.tokenizer.freeze()
+    target_model.tokenizer.token_mlp.unfreeze()
+    for parameter in target_model.backbone.parameters():
+        parameter.requires_grad = False
+
+    finetune_config = training_config or TrainingConfig(stage2_epochs=finetune_epochs, stage2_learning_rate=2e-3)
+    trainer = PromptTuningTrainer(target_model, target_dataset, finetune_config, tasks=tasks)
+    logs = trainer.train(epochs=finetune_epochs, freeze_tokenizer=False)
+    target_model.eval()
+    return target_model, logs

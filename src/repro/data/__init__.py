@@ -1,0 +1,48 @@
+"""Dynamic spatiotemporal data: trajectories, traffic states and synthesis.
+
+This package provides the temporal elements of the paper (time slices and
+timestamps, Definitions 3–4), the two dynamic data modalities (trajectories,
+Definition 5, and traffic states, Definition 6), the mobility simulator that
+stands in for the BJ/XA/CD datasets, batching utilities and an HMM map
+matcher used by the trajectory-recovery baselines.
+"""
+
+from repro.data.timeutils import TimeAxis, timestamp_features, TIMESTAMP_FEATURE_DIM
+from repro.data.trajectory import Trajectory, subsample_trajectory
+from repro.data.traffic_state import TrafficStateSeries, TRAFFIC_CHANNELS
+from repro.data.synthetic import SyntheticCityConfig, SyntheticCity
+from repro.data.datasets import CityDataset, DatasetSplits, load_dataset, DATASET_PRESETS
+from repro.data.loader import TrajectoryBatch, TrajectoryLoader, TrafficWindowSampler
+from repro.data.mapmatch import HMMMapMatcher
+from repro.data.augmentation import augment_dataset
+from repro.data.gps import GPSPoint, GPSTrace, map_match_trace, trajectory_to_gps
+from repro.data.io import load_dataset_directory, load_trajectories, save_dataset, save_trajectories
+
+__all__ = [
+    "TimeAxis",
+    "timestamp_features",
+    "TIMESTAMP_FEATURE_DIM",
+    "Trajectory",
+    "subsample_trajectory",
+    "TrafficStateSeries",
+    "TRAFFIC_CHANNELS",
+    "SyntheticCityConfig",
+    "SyntheticCity",
+    "CityDataset",
+    "DatasetSplits",
+    "load_dataset",
+    "DATASET_PRESETS",
+    "TrajectoryBatch",
+    "TrajectoryLoader",
+    "TrafficWindowSampler",
+    "HMMMapMatcher",
+    "augment_dataset",
+    "GPSPoint",
+    "GPSTrace",
+    "map_match_trace",
+    "trajectory_to_gps",
+    "save_trajectories",
+    "load_trajectories",
+    "save_dataset",
+    "load_dataset_directory",
+]

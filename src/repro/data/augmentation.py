@@ -1,0 +1,180 @@
+"""Trajectory augmentation utilities.
+
+Contrastive trajectory-representation baselines (JCLRNT, START) rely on
+augmented "views" of a trajectory; the synthetic datasets are small, so the
+training loops also benefit from cheap augmentation.  Every function is a
+pure transformation ``Trajectory -> Trajectory`` driven by an explicit
+``numpy.random.Generator`` so augmented datasets are reproducible.
+
+All augmentations preserve the invariants checked by
+:class:`~repro.data.trajectory.Trajectory` (non-empty, strictly increasing
+timestamps) and keep the original trajectory untouched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.trajectory import Trajectory
+from repro.roadnet.network import RoadNetwork
+
+__all__ = [
+    "drop_samples",
+    "crop_window",
+    "jitter_timestamps",
+    "perturb_segments",
+    "detour",
+    "augment_dataset",
+]
+
+
+def _clone(trajectory: Trajectory, segments: Sequence[int], timestamps: Sequence[float]) -> Trajectory:
+    return Trajectory(
+        trajectory_id=trajectory.trajectory_id,
+        user_id=trajectory.user_id,
+        segments=list(int(s) for s in segments),
+        timestamps=list(float(t) for t in timestamps),
+        label=trajectory.label,
+    )
+
+
+def drop_samples(trajectory: Trajectory, drop_ratio: float, rng: np.random.Generator, min_length: int = 2) -> Trajectory:
+    """Randomly drop interior samples (origin and destination are kept)."""
+    if not 0.0 <= drop_ratio < 1.0:
+        raise ValueError("drop_ratio must be in [0, 1)")
+    length = len(trajectory)
+    if length <= min_length:
+        return _clone(trajectory, trajectory.segments, trajectory.timestamps)
+    interior = np.arange(1, length - 1)
+    keep_count = max(min_length - 2, int(round(len(interior) * (1.0 - drop_ratio))))
+    kept_interior = np.sort(rng.choice(interior, size=min(keep_count, len(interior)), replace=False)) if keep_count else np.array([], dtype=int)
+    kept = np.concatenate([[0], kept_interior, [length - 1]]).astype(int)
+    return _clone(
+        trajectory,
+        [trajectory.segments[i] for i in kept],
+        [trajectory.timestamps[i] for i in kept],
+    )
+
+
+def crop_window(trajectory: Trajectory, window: int, rng: np.random.Generator) -> Trajectory:
+    """Keep a random contiguous window of ``window`` samples."""
+    if window < 2:
+        raise ValueError("window must be at least 2 samples")
+    length = len(trajectory)
+    if length <= window:
+        return _clone(trajectory, trajectory.segments, trajectory.timestamps)
+    start = int(rng.integers(0, length - window + 1))
+    stop = start + window
+    return _clone(trajectory, trajectory.segments[start:stop], trajectory.timestamps[start:stop])
+
+
+def jitter_timestamps(trajectory: Trajectory, max_shift_seconds: float, rng: np.random.Generator) -> Trajectory:
+    """Add bounded noise to the sampling times while keeping them increasing."""
+    if max_shift_seconds < 0:
+        raise ValueError("max_shift_seconds must be non-negative")
+    timestamps = np.asarray(trajectory.timestamps, dtype=np.float64).copy()
+    if len(timestamps) > 1 and max_shift_seconds > 0:
+        gaps = np.diff(timestamps)
+        # never shift a sample past its neighbours: bound each shift by a
+        # third of the smaller adjacent gap
+        for index in range(1, len(timestamps) - 1):
+            bound = min(gaps[index - 1], gaps[index]) / 3.0
+            bound = min(bound, max_shift_seconds)
+            timestamps[index] += float(rng.uniform(-bound, bound))
+    return _clone(trajectory, trajectory.segments, timestamps)
+
+
+def perturb_segments(
+    trajectory: Trajectory,
+    network: RoadNetwork,
+    perturb_ratio: float,
+    rng: np.random.Generator,
+) -> Trajectory:
+    """Replace a fraction of interior segments with a graph neighbour.
+
+    Each selected sample is replaced by a random successor or predecessor of
+    the original segment, emulating GPS/map-matching noise while staying on
+    the road network.
+    """
+    if not 0.0 <= perturb_ratio <= 1.0:
+        raise ValueError("perturb_ratio must be in [0, 1]")
+    segments = list(trajectory.segments)
+    for index in range(1, len(segments) - 1):
+        if rng.random() >= perturb_ratio:
+            continue
+        neighbours = list(network.successors(segments[index])) + list(network.predecessors(segments[index]))
+        if neighbours:
+            segments[index] = int(rng.choice(neighbours))
+    return _clone(trajectory, segments, trajectory.timestamps)
+
+
+def detour(
+    trajectory: Trajectory,
+    network: RoadNetwork,
+    rng: np.random.Generator,
+    max_extra_hops: int = 2,
+) -> Trajectory:
+    """Insert a short detour between two consecutive samples.
+
+    A random position is chosen and up to ``max_extra_hops`` intermediate
+    segments are inserted along outgoing edges, with interpolated timestamps.
+    If the chosen segment has no successors the trajectory is returned
+    unchanged.
+    """
+    if max_extra_hops < 1:
+        raise ValueError("max_extra_hops must be at least 1")
+    if len(trajectory) < 2:
+        return _clone(trajectory, trajectory.segments, trajectory.timestamps)
+    position = int(rng.integers(0, len(trajectory) - 1))
+    current = int(trajectory.segments[position])
+    extra_segments: List[int] = []
+    for _ in range(int(rng.integers(1, max_extra_hops + 1))):
+        successors = network.successors(current)
+        if not successors:
+            break
+        current = int(rng.choice(successors))
+        extra_segments.append(current)
+    if not extra_segments:
+        return _clone(trajectory, trajectory.segments, trajectory.timestamps)
+    start_time = trajectory.timestamps[position]
+    end_time = trajectory.timestamps[position + 1]
+    fractions = np.linspace(0.0, 1.0, len(extra_segments) + 2)[1:-1]
+    extra_times = [start_time + float(f) * (end_time - start_time) for f in fractions]
+    segments = (
+        list(trajectory.segments[: position + 1]) + extra_segments + list(trajectory.segments[position + 1 :])
+    )
+    timestamps = (
+        list(trajectory.timestamps[: position + 1]) + extra_times + list(trajectory.timestamps[position + 1 :])
+    )
+    return _clone(trajectory, segments, timestamps)
+
+
+def augment_dataset(
+    trajectories: Sequence[Trajectory],
+    network: RoadNetwork,
+    copies: int = 1,
+    seed: int = 0,
+    drop_ratio: float = 0.2,
+    perturb_ratio: float = 0.1,
+    time_jitter_seconds: float = 30.0,
+) -> List[Trajectory]:
+    """Produce ``copies`` augmented variants of every trajectory.
+
+    Each copy applies sample dropping, segment perturbation and timestamp
+    jitter in sequence.  The returned list contains only the new variants
+    (the originals are left to the caller), each keeping its source
+    trajectory's user id and label so supervised tasks can use them directly.
+    """
+    if copies < 0:
+        raise ValueError("copies must be non-negative")
+    rng = np.random.default_rng(seed)
+    augmented: List[Trajectory] = []
+    for trajectory in trajectories:
+        for _ in range(copies):
+            variant = drop_samples(trajectory, drop_ratio, rng)
+            variant = perturb_segments(variant, network, perturb_ratio, rng)
+            variant = jitter_timestamps(variant, time_jitter_seconds, rng)
+            augmented.append(variant)
+    return augmented

@@ -1,0 +1,176 @@
+"""Raw GPS traces and their conversion to/from road-segment trajectories.
+
+The trajectories of the paper's datasets start life as noisy GPS points that
+are map-matched onto the road network ("trajectories were map-matched to the
+networks to compute traffic states", Sec. VII-A).  The synthetic datasets in
+this repository generate segment-level trajectories directly, so this module
+provides the missing ends of that pipeline:
+
+* :class:`GPSPoint` / :class:`GPSTrace` — raw positional records in the same
+  local kilometre frame used by the road network.
+* :func:`trajectory_to_gps` — render a segment-level
+  :class:`~repro.data.trajectory.Trajectory` as a GPS trace with configurable
+  sampling rate and measurement noise (the inverse problem, used to exercise
+  map matching on data with known ground truth).
+* :func:`map_match_trace` — recover a segment-level trajectory from a GPS
+  trace with the HMM map matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.mapmatch import HMMMapMatcher
+from repro.data.trajectory import Trajectory
+from repro.roadnet.network import RoadNetwork
+
+__all__ = ["GPSPoint", "GPSTrace", "trajectory_to_gps", "map_match_trace"]
+
+
+@dataclass(frozen=True)
+class GPSPoint:
+    """A single positional fix in the local kilometre frame."""
+
+    x: float
+    y: float
+    timestamp: float
+
+    @property
+    def location(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass
+class GPSTrace:
+    """A time-ordered sequence of GPS fixes belonging to one trip."""
+
+    trace_id: int
+    user_id: int
+    points: List[GPSPoint]
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ValueError("a GPS trace needs at least two fixes")
+        timestamps = [p.timestamp for p in self.points]
+        if any(b < a for a, b in zip(timestamps, timestamps[1:])):
+            raise ValueError("GPS fixes must be time-ordered")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def duration(self) -> float:
+        return self.points[-1].timestamp - self.points[0].timestamp
+
+    def positions(self) -> np.ndarray:
+        """``(N, 2)`` array of fix coordinates."""
+        return np.array([[p.x, p.y] for p in self.points])
+
+    def timestamps(self) -> np.ndarray:
+        return np.array([p.timestamp for p in self.points])
+
+    def bounding_box(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """``((min_x, min_y), (max_x, max_y))`` of the trace."""
+        positions = self.positions()
+        return (
+            (float(positions[:, 0].min()), float(positions[:, 1].min())),
+            (float(positions[:, 0].max()), float(positions[:, 1].max())),
+        )
+
+
+def _segment_position(network: RoadNetwork, segment_id: int, fraction: float) -> Tuple[float, float]:
+    """Point ``fraction`` of the way along a segment's geometry."""
+    segment = network.segment(segment_id)
+    fraction = min(max(fraction, 0.0), 1.0)
+    return (
+        segment.start[0] + fraction * (segment.end[0] - segment.start[0]),
+        segment.start[1] + fraction * (segment.end[1] - segment.start[1]),
+    )
+
+
+def trajectory_to_gps(
+    trajectory: Trajectory,
+    network: RoadNetwork,
+    points_per_segment: int = 2,
+    noise_sigma_km: float = 0.02,
+    seed: int = 0,
+) -> GPSTrace:
+    """Render a segment-level trajectory as a noisy GPS trace.
+
+    Each visited segment contributes ``points_per_segment`` fixes spread along
+    its geometry; timestamps are linearly interpolated between the
+    trajectory's samples, and isotropic Gaussian noise with standard deviation
+    ``noise_sigma_km`` models the GPS measurement error.
+    """
+    if points_per_segment < 1:
+        raise ValueError("points_per_segment must be at least 1")
+    if noise_sigma_km < 0:
+        raise ValueError("noise_sigma_km must be non-negative")
+    rng = np.random.default_rng(seed)
+    points: List[GPSPoint] = []
+    for index, (segment_id, timestamp) in enumerate(zip(trajectory.segments, trajectory.timestamps)):
+        if index + 1 < len(trajectory):
+            next_timestamp = trajectory.timestamps[index + 1]
+        else:
+            # extrapolate the final dwell using the previous interval (or one minute)
+            previous_interval = (
+                trajectory.timestamps[index] - trajectory.timestamps[index - 1] if index > 0 else 60.0
+            )
+            next_timestamp = timestamp + max(previous_interval, 1.0)
+        for k in range(points_per_segment):
+            fraction = (k + 0.5) / points_per_segment
+            x, y = _segment_position(network, int(segment_id), fraction)
+            if noise_sigma_km > 0:
+                x += float(rng.normal(scale=noise_sigma_km))
+                y += float(rng.normal(scale=noise_sigma_km))
+            point_time = timestamp + fraction * (next_timestamp - timestamp)
+            points.append(GPSPoint(x=x, y=y, timestamp=float(point_time)))
+    points.sort(key=lambda p: p.timestamp)
+    return GPSTrace(
+        trace_id=trajectory.trajectory_id,
+        user_id=trajectory.user_id,
+        points=points,
+        metadata={"source": "trajectory_to_gps", "noise_sigma_km": noise_sigma_km},
+    )
+
+
+def map_match_trace(
+    trace: GPSTrace,
+    network: RoadNetwork,
+    matcher: Optional[HMMMapMatcher] = None,
+) -> Trajectory:
+    """Recover a segment-level trajectory from a GPS trace.
+
+    Consecutive fixes matched to the same segment are collapsed into one
+    sample whose timestamp is the first fix on that segment, mirroring how the
+    paper's datasets are preprocessed.
+    """
+    matcher = matcher or HMMMapMatcher(network)
+    matched = matcher.match([p.location for p in trace.points])
+    if len(matched) != len(trace):
+        raise RuntimeError("map matcher returned the wrong number of segments")
+    segments: List[int] = []
+    timestamps: List[float] = []
+    for segment_id, point in zip(matched, trace.points):
+        if segments and segments[-1] == int(segment_id):
+            continue
+        segments.append(int(segment_id))
+        timestamps.append(float(point.timestamp))
+    if len(segments) < 2:
+        # degenerate trace (all fixes on one segment): keep both endpoints so
+        # the Trajectory invariant of >= 2 samples holds
+        segments = [int(matched[0]), int(matched[-1])]
+        timestamps = [float(trace.points[0].timestamp), float(trace.points[-1].timestamp)]
+        if timestamps[1] <= timestamps[0]:
+            timestamps[1] = timestamps[0] + 1.0
+    return Trajectory(
+        trajectory_id=trace.trace_id,
+        user_id=trace.user_id,
+        segments=segments,
+        timestamps=timestamps,
+        metadata={"source": "map_match_trace"},
+    )

@@ -1,0 +1,155 @@
+"""Persisting city datasets to disk.
+
+The synthetic presets are regenerated on demand from their seed, but a
+library user working with their own data (or wanting to pin an exact
+synthetic sample) needs a stable on-disk format.  A dataset directory looks
+like::
+
+    <directory>/
+        network.json          # road network (repro.roadnet.io format)
+        trajectories.jsonl    # one JSON object per trajectory
+        traffic.npz           # traffic-state tensor + channel names (optional)
+        metadata.json         # name, time axis, splits
+
+Everything is plain JSON / NPZ so the artefacts stay readable outside this
+library.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.datasets import CityDataset, DatasetSplits
+from repro.data.timeutils import TimeAxis
+from repro.data.traffic_state import TrafficStateSeries
+from repro.data.trajectory import Trajectory
+from repro.roadnet.io import load_road_network, save_road_network
+
+__all__ = [
+    "save_trajectories",
+    "load_trajectories",
+    "save_dataset",
+    "load_dataset_directory",
+]
+
+PathLike = Union[str, os.PathLike]
+
+_NETWORK_FILE = "network.json"
+_TRAJECTORY_FILE = "trajectories.jsonl"
+_TRAFFIC_FILE = "traffic.npz"
+_METADATA_FILE = "metadata.json"
+
+
+def save_trajectories(trajectories: Sequence[Trajectory], path: PathLike) -> Path:
+    """Write trajectories to a JSON-lines file (one object per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for trajectory in trajectories:
+            handle.write(json.dumps(trajectory.to_dict()))
+            handle.write("\n")
+    return path
+
+
+def load_trajectories(path: PathLike) -> List[Trajectory]:
+    """Read trajectories written by :func:`save_trajectories`."""
+    path = Path(path)
+    trajectories: List[Trajectory] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: invalid JSON ({error})") from error
+            trajectories.append(Trajectory.from_dict(payload))
+    return trajectories
+
+
+def save_dataset(dataset: CityDataset, directory: PathLike) -> Path:
+    """Write a full :class:`CityDataset` to ``directory``.
+
+    The directory is created if needed; existing files inside it are
+    overwritten.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    save_road_network(dataset.network, directory / _NETWORK_FILE)
+    save_trajectories(dataset.trajectories, directory / _TRAJECTORY_FILE)
+
+    if dataset.traffic_states is not None:
+        np.savez_compressed(
+            directory / _TRAFFIC_FILE,
+            values=dataset.traffic_states.values,
+            channels=np.array(list(dataset.traffic_states.channels)),
+        )
+
+    metadata = {
+        "name": dataset.name,
+        "time_axis": {
+            "num_slices": dataset.time_axis.num_slices,
+            "slice_seconds": dataset.time_axis.slice_seconds,
+            "origin": dataset.time_axis.origin,
+        },
+        "splits": {
+            "train": list(dataset.splits.train),
+            "validation": list(dataset.splits.validation),
+            "test": list(dataset.splits.test),
+        },
+        "has_traffic_states": dataset.traffic_states is not None,
+    }
+    with open(directory / _METADATA_FILE, "w", encoding="utf-8") as handle:
+        json.dump(metadata, handle, indent=2)
+    return directory
+
+
+def load_dataset_directory(directory: PathLike) -> CityDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    metadata_path = directory / _METADATA_FILE
+    if not metadata_path.exists():
+        raise FileNotFoundError(f"{directory} does not contain {_METADATA_FILE}; not a dataset directory")
+    with open(metadata_path, "r", encoding="utf-8") as handle:
+        metadata = json.load(handle)
+
+    network = load_road_network(directory / _NETWORK_FILE)
+    trajectories = load_trajectories(directory / _TRAJECTORY_FILE)
+    time_axis = TimeAxis(
+        num_slices=int(metadata["time_axis"]["num_slices"]),
+        slice_seconds=float(metadata["time_axis"]["slice_seconds"]),
+        origin=float(metadata["time_axis"]["origin"]),
+    )
+
+    traffic_states: Optional[TrafficStateSeries] = None
+    if metadata.get("has_traffic_states"):
+        traffic_path = directory / _TRAFFIC_FILE
+        if not traffic_path.exists():
+            raise FileNotFoundError(f"{directory}: metadata announces traffic states but {_TRAFFIC_FILE} is missing")
+        with np.load(traffic_path, allow_pickle=False) as archive:
+            traffic_states = TrafficStateSeries(
+                values=archive["values"],
+                time_axis=time_axis,
+                channels=tuple(str(c) for c in archive["channels"]),
+            )
+
+    splits = DatasetSplits(
+        train=tuple(int(i) for i in metadata["splits"]["train"]),
+        validation=tuple(int(i) for i in metadata["splits"]["validation"]),
+        test=tuple(int(i) for i in metadata["splits"]["test"]),
+    )
+    return CityDataset(
+        name=str(metadata["name"]),
+        network=network,
+        trajectories=trajectories,
+        traffic_states=traffic_states,
+        splits=splits,
+        time_axis=time_axis,
+    )

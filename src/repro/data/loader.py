@@ -1,0 +1,185 @@
+"""Batching utilities for trajectories and traffic-state windows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.traffic_state import TrafficStateSeries
+from repro.data.trajectory import Trajectory
+
+
+@dataclass
+class TrajectoryBatch:
+    """A padded batch of trajectories.
+
+    ``segments`` and ``timestamps`` are padded to the longest trajectory in
+    the batch; ``padding_mask`` is ``True`` at padded positions (the
+    convention used by the attention layers).
+    """
+
+    segments: np.ndarray  # (batch, max_len) int64
+    timestamps: np.ndarray  # (batch, max_len) float64
+    lengths: np.ndarray  # (batch,) int64
+    user_ids: np.ndarray  # (batch,) int64
+    labels: np.ndarray  # (batch,) int64, -1 when absent
+    padding_mask: np.ndarray  # (batch, max_len) bool
+    trajectory_ids: np.ndarray  # (batch,) int64
+
+    @property
+    def batch_size(self) -> int:
+        return self.segments.shape[0]
+
+    @property
+    def max_length(self) -> int:
+        return self.segments.shape[1]
+
+
+def collate_trajectories(trajectories: Sequence[Trajectory], pad_segment: int = 0) -> TrajectoryBatch:
+    """Pad a list of trajectories into a :class:`TrajectoryBatch`."""
+    if not trajectories:
+        raise ValueError("cannot collate an empty trajectory list")
+    lengths = np.array([len(t) for t in trajectories], dtype=np.int64)
+    max_len = int(lengths.max())
+    batch = len(trajectories)
+    segments = np.full((batch, max_len), pad_segment, dtype=np.int64)
+    timestamps = np.zeros((batch, max_len), dtype=np.float64)
+    padding_mask = np.ones((batch, max_len), dtype=bool)
+    user_ids = np.zeros(batch, dtype=np.int64)
+    labels = np.full(batch, -1, dtype=np.int64)
+    trajectory_ids = np.zeros(batch, dtype=np.int64)
+    for row, trajectory in enumerate(trajectories):
+        length = len(trajectory)
+        segments[row, :length] = trajectory.segment_array()
+        timestamps[row, :length] = trajectory.timestamp_array()
+        padding_mask[row, :length] = False
+        user_ids[row] = trajectory.user_id
+        trajectory_ids[row] = trajectory.trajectory_id
+        if trajectory.label is not None:
+            labels[row] = trajectory.label
+    return TrajectoryBatch(
+        segments=segments,
+        timestamps=timestamps,
+        lengths=lengths,
+        user_ids=user_ids,
+        labels=labels,
+        padding_mask=padding_mask,
+        trajectory_ids=trajectory_ids,
+    )
+
+
+class TrajectoryLoader:
+    """Iterate over trajectory batches, optionally shuffling every epoch."""
+
+    def __init__(
+        self,
+        trajectories: Sequence[Trajectory],
+        batch_size: int = 16,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.trajectories = list(trajectories)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        full, rem = divmod(len(self.trajectories), self.batch_size)
+        if rem and not self.drop_last:
+            full += 1
+        return full
+
+    def __iter__(self) -> Iterator[TrajectoryBatch]:
+        order = np.arange(len(self.trajectories))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            index = order[start : start + self.batch_size]
+            if len(index) < self.batch_size and self.drop_last:
+                continue
+            yield collate_trajectories([self.trajectories[i] for i in index])
+
+
+@dataclass
+class TrafficWindow:
+    """One traffic-state forecasting sample for a single segment."""
+
+    segment_id: int
+    history_slices: np.ndarray  # (history,) int
+    target_slices: np.ndarray  # (horizon,) int
+    history: np.ndarray  # (history, channels)
+    target: np.ndarray  # (horizon, channels)
+
+
+class TrafficWindowSampler:
+    """Sample (history, horizon) windows from a traffic-state series.
+
+    Used both for BIGCity's traffic-state prompts and for every traffic
+    baseline; the split is temporal (train on the first part of the axis,
+    test on the last) so that forecasting is genuinely out-of-sample.
+    """
+
+    def __init__(
+        self,
+        traffic: TrafficStateSeries,
+        history: int = 6,
+        horizon: int = 6,
+        seed: int = 0,
+    ) -> None:
+        if history < 1 or horizon < 1:
+            raise ValueError("history and horizon must be >= 1")
+        if history + horizon > traffic.num_slices:
+            raise ValueError("window longer than the available time axis")
+        self.traffic = traffic
+        self.history = history
+        self.horizon = horizon
+        self._rng = np.random.default_rng(seed)
+
+    def valid_start_range(self, split: str = "all", train_fraction: float = 0.7) -> Tuple[int, int]:
+        """Start-slice range (inclusive, exclusive) for a temporal split."""
+        last_start = self.traffic.num_slices - self.history - self.horizon + 1
+        boundary = int(last_start * train_fraction)
+        if split == "train":
+            return 0, max(boundary, 1)
+        if split == "test":
+            return max(boundary, 1), max(last_start, boundary + 1)
+        if split == "all":
+            return 0, max(last_start, 1)
+        raise ValueError(f"unknown split {split!r}")
+
+    def window(self, segment_id: int, start_slice: int) -> TrafficWindow:
+        history_slices = np.arange(start_slice, start_slice + self.history)
+        target_slices = np.arange(start_slice + self.history, start_slice + self.history + self.horizon)
+        series = self.traffic.segment_series(segment_id)
+        return TrafficWindow(
+            segment_id=segment_id,
+            history_slices=history_slices,
+            target_slices=target_slices,
+            history=series[history_slices],
+            target=series[target_slices],
+        )
+
+    def sample(self, count: int, split: str = "train", train_fraction: float = 0.7) -> List[TrafficWindow]:
+        """Draw ``count`` random windows from the requested temporal split."""
+        low, high = self.valid_start_range(split, train_fraction)
+        windows = []
+        for _ in range(count):
+            segment = int(self._rng.integers(0, self.traffic.num_segments))
+            start = int(self._rng.integers(low, high))
+            windows.append(self.window(segment, start))
+        return windows
+
+    def all_windows(self, split: str = "test", train_fraction: float = 0.7, stride: int = 1) -> List[TrafficWindow]:
+        """Every window of the split for every segment (deterministic order)."""
+        low, high = self.valid_start_range(split, train_fraction)
+        windows = []
+        for segment in range(self.traffic.num_segments):
+            for start in range(low, high, stride):
+                windows.append(self.window(segment, start))
+        return windows

@@ -1,0 +1,151 @@
+"""HMM map matching (Newson & Krumm style) over the segment graph.
+
+The trajectory-recovery baselines of Table IV (Linear+HMM and DTHR+HMM)
+first interpolate positions between the sparse observed samples and then use
+a hidden Markov model to snap those positions onto road segments.  This
+module provides that HMM: states are road segments, emission probabilities
+decay with the distance between a position and a segment's midpoint, and
+transition probabilities favour segment pairs that are close in the road
+graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+
+
+class HMMMapMatcher:
+    """Viterbi decoding of segment sequences from noisy positions."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        emission_sigma_km: float = 0.35,
+        transition_beta: float = 2.0,
+        num_candidates: int = 6,
+        max_hop_gap: int = 6,
+    ) -> None:
+        if emission_sigma_km <= 0 or transition_beta <= 0:
+            raise ValueError("emission sigma and transition beta must be positive")
+        self.network = network
+        self.emission_sigma = emission_sigma_km
+        self.transition_beta = transition_beta
+        self.num_candidates = max(1, num_candidates)
+        self.max_hop_gap = max_hop_gap
+        self._midpoints = np.array([s.midpoint for s in network.segments])
+
+    # ------------------------------------------------------------------
+    def candidates_for(self, point: Tuple[float, float]) -> np.ndarray:
+        """Ids of the segments whose midpoints are nearest to ``point``."""
+        distances = np.hypot(self._midpoints[:, 0] - point[0], self._midpoints[:, 1] - point[1])
+        return np.argsort(distances)[: self.num_candidates]
+
+    def _emission_log_prob(self, point: Tuple[float, float], segment_id: int) -> float:
+        mid = self._midpoints[segment_id]
+        distance = float(np.hypot(mid[0] - point[0], mid[1] - point[1]))
+        return -0.5 * (distance / self.emission_sigma) ** 2
+
+    def _transition_log_prob(self, previous: int, current: int) -> float:
+        if previous == current:
+            return 0.0
+        hops = self.network.hop_distance(previous, current)
+        if hops < 0 or hops > self.max_hop_gap:
+            return -np.inf
+        return -hops / self.transition_beta
+
+    # ------------------------------------------------------------------
+    def match(self, points: Sequence[Tuple[float, float]]) -> List[int]:
+        """Map a sequence of positions to the most likely segment sequence."""
+        if len(points) == 0:
+            return []
+        candidate_sets = [self.candidates_for(p) for p in points]
+
+        # Viterbi over the candidate lattice.
+        log_probs = [
+            np.array([self._emission_log_prob(points[0], int(c)) for c in candidate_sets[0]])
+        ]
+        backpointers: List[np.ndarray] = []
+        for step in range(1, len(points)):
+            previous_candidates = candidate_sets[step - 1]
+            current_candidates = candidate_sets[step]
+            scores = np.full((len(previous_candidates), len(current_candidates)), -np.inf)
+            for i, prev in enumerate(previous_candidates):
+                for j, cur in enumerate(current_candidates):
+                    transition = self._transition_log_prob(int(prev), int(cur))
+                    if np.isfinite(transition):
+                        scores[i, j] = log_probs[-1][i] + transition
+            emissions = np.array([self._emission_log_prob(points[step], int(c)) for c in current_candidates])
+            best_prev = scores.argmax(axis=0)
+            best_score = scores.max(axis=0) + emissions
+            if not np.isfinite(best_score).any():
+                # Dead end in the lattice: fall back to emission-only scoring.
+                best_score = emissions
+                best_prev = np.zeros(len(current_candidates), dtype=np.int64)
+            log_probs.append(best_score)
+            backpointers.append(best_prev)
+
+        # Backtrack.
+        path_indices = [int(np.argmax(log_probs[-1]))]
+        for pointers in reversed(backpointers):
+            path_indices.append(int(pointers[path_indices[-1]]))
+        path_indices.reverse()
+        return [int(candidate_sets[step][idx]) for step, idx in enumerate(path_indices)]
+
+    # ------------------------------------------------------------------
+    def interpolate_positions(
+        self,
+        known_segments: Sequence[int],
+        counts_between: Sequence[int],
+        mode: str = "linear",
+    ) -> List[Tuple[float, float]]:
+        """Interpolate positions between consecutive known segments.
+
+        Parameters
+        ----------
+        known_segments:
+            Observed segment ids of the sparse trajectory.
+        counts_between:
+            Number of missing samples between each consecutive pair
+            (``len(counts_between) == len(known_segments) - 1``).
+        mode:
+            ``"linear"`` interpolates straight between midpoints;
+            ``"distance_threshold"`` (DTHR) walks along the road-graph
+            shortest path and samples positions from it.
+        """
+        if len(counts_between) != len(known_segments) - 1:
+            raise ValueError("counts_between must have one entry per consecutive pair")
+        positions: List[Tuple[float, float]] = []
+        for pair_index in range(len(known_segments) - 1):
+            a = known_segments[pair_index]
+            b = known_segments[pair_index + 1]
+            start = self._midpoints[a]
+            end = self._midpoints[b]
+            positions.append(tuple(start))
+            missing = counts_between[pair_index]
+            if missing <= 0:
+                continue
+            if mode == "linear":
+                for k in range(1, missing + 1):
+                    alpha = k / (missing + 1)
+                    positions.append(tuple(start + alpha * (end - start)))
+            elif mode == "distance_threshold":
+                path = self.network.shortest_path(int(a), int(b))
+                if len(path) > 2:
+                    waypoints = self._midpoints[path[1:-1]]
+                else:
+                    waypoints = np.empty((0, 2))
+                for k in range(1, missing + 1):
+                    if len(waypoints) > 0:
+                        index = min(int(round((k / (missing + 1)) * (len(waypoints) - 1))), len(waypoints) - 1)
+                        positions.append(tuple(waypoints[index]))
+                    else:
+                        alpha = k / (missing + 1)
+                        positions.append(tuple(start + alpha * (end - start)))
+            else:
+                raise ValueError(f"unknown interpolation mode {mode!r}")
+        positions.append(tuple(self._midpoints[known_segments[-1]]))
+        return positions

@@ -1,0 +1,118 @@
+"""Temporal elements: time slices and timestamps (Definitions 3 and 4).
+
+Timestamps are plain floats counting seconds from the start of the dataset's
+observation window.  A :class:`TimeAxis` partitions that window into
+fixed-length time slices (30 minutes in the paper) and converts between
+timestamps and slice indices.  :func:`timestamp_features` produces the
+feature vector ``iota_tau`` describing a timestamp: normalised time of day,
+cyclical encodings of hour-of-day and day-of-week, a weekend flag and the
+normalised position of the enclosing slice within its day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+#: Dimension of the timestamp feature vector ``D_tau``.
+TIMESTAMP_FEATURE_DIM = 8
+
+
+def timestamp_features(timestamp: float, slice_seconds: float = 1800.0) -> np.ndarray:
+    """Feature vector of a single timestamp (Definition 4).
+
+    Parameters
+    ----------
+    timestamp:
+        Seconds since the start of the observation window (week-aligned).
+    slice_seconds:
+        Length of a time slice, default 30 minutes as in the paper.
+    """
+    timestamp = float(timestamp)
+    second_of_day = timestamp % SECONDS_PER_DAY
+    day_of_week = int(timestamp // SECONDS_PER_DAY) % 7
+    hour_fraction = second_of_day / SECONDS_PER_DAY
+    slice_of_day = int(second_of_day // slice_seconds)
+    slices_per_day = int(SECONDS_PER_DAY // slice_seconds)
+    return np.array(
+        [
+            hour_fraction,
+            np.sin(2 * np.pi * hour_fraction),
+            np.cos(2 * np.pi * hour_fraction),
+            np.sin(2 * np.pi * day_of_week / 7.0),
+            np.cos(2 * np.pi * day_of_week / 7.0),
+            1.0 if day_of_week >= 5 else 0.0,
+            slice_of_day / max(slices_per_day, 1),
+            (timestamp % SECONDS_PER_WEEK) / SECONDS_PER_WEEK,
+        ]
+    )
+
+
+def timestamp_features_batch(timestamps: Sequence[float], slice_seconds: float = 1800.0) -> np.ndarray:
+    """Vectorised :func:`timestamp_features` for a sequence of timestamps."""
+    return np.stack([timestamp_features(t, slice_seconds) for t in timestamps])
+
+
+@dataclass(frozen=True)
+class TimeAxis:
+    """Partition of an observation window into fixed-length time slices.
+
+    Attributes
+    ----------
+    num_slices:
+        Number of time slices ``T``.
+    slice_seconds:
+        Slice duration (1800 s = 30 minutes in the paper).
+    origin:
+        Timestamp of the start of slice 0.
+    """
+
+    num_slices: int
+    slice_seconds: float = 1800.0
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_slices < 1:
+            raise ValueError("a time axis needs at least one slice")
+        if self.slice_seconds <= 0:
+            raise ValueError("slice duration must be positive")
+
+    @property
+    def total_seconds(self) -> float:
+        return self.num_slices * self.slice_seconds
+
+    @property
+    def end(self) -> float:
+        return self.origin + self.total_seconds
+
+    def slice_of(self, timestamp: float) -> int:
+        """Index ``t_tau`` of the slice containing ``timestamp`` (clamped to range)."""
+        index = int((timestamp - self.origin) // self.slice_seconds)
+        return int(np.clip(index, 0, self.num_slices - 1))
+
+    def slice_start(self, index: int) -> float:
+        """Timestamp ``tau_t`` at which slice ``index`` begins."""
+        if not 0 <= index < self.num_slices:
+            raise IndexError(f"slice index {index} out of range [0, {self.num_slices})")
+        return self.origin + index * self.slice_seconds
+
+    def slice_starts(self) -> np.ndarray:
+        """Start timestamps of every slice."""
+        return self.origin + np.arange(self.num_slices) * self.slice_seconds
+
+    def contains(self, timestamp: float) -> bool:
+        return self.origin <= timestamp < self.end
+
+    def slice_features(self, index: int) -> np.ndarray:
+        """Feature vector of a time slice (Definition 3), via its start timestamp."""
+        return timestamp_features(self.slice_start(index), self.slice_seconds)
+
+    def all_slice_features(self) -> np.ndarray:
+        return np.stack([self.slice_features(i) for i in range(self.num_slices)])

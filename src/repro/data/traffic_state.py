@@ -1,0 +1,131 @@
+"""Traffic states: dynamic per-segment time series (Definition 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.timeutils import TimeAxis
+from repro.data.trajectory import Trajectory
+
+#: Traffic-state channels ``D_d``: average speed (km/h), inflow and outflow
+#: (vehicles entering/leaving the segment during the slice).
+TRAFFIC_CHANNELS: Tuple[str, ...] = ("speed", "inflow", "outflow")
+
+
+@dataclass
+class TrafficStateSeries:
+    """Population-level traffic state tensor over a time axis.
+
+    ``values`` has shape ``(num_segments, num_slices, num_channels)``; the
+    series for one segment corresponds to ``ts_i`` in Definition 6.
+    """
+
+    values: np.ndarray
+    time_axis: TimeAxis
+    channels: Tuple[str, ...] = TRAFFIC_CHANNELS
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 3:
+            raise ValueError("traffic state values must be (segments, slices, channels)")
+        if self.values.shape[1] != self.time_axis.num_slices:
+            raise ValueError("slice dimension must match the time axis")
+        if self.values.shape[2] != len(self.channels):
+            raise ValueError("channel dimension must match channel names")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_segments(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def num_slices(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def num_channels(self) -> int:
+        return self.values.shape[2]
+
+    def segment_series(self, segment_id: int) -> np.ndarray:
+        """The ``(num_slices, num_channels)`` series of one segment."""
+        return self.values[segment_id]
+
+    def at(self, segment_id: int, timestamp: float) -> np.ndarray:
+        """Dynamic feature ``e^(d)_{i, t_tau}`` of a segment at a timestamp."""
+        return self.values[segment_id, self.time_axis.slice_of(timestamp)]
+
+    def window(self, segment_id: int, slice_index: int, history: int) -> np.ndarray:
+        """Concatenated history window ``[t - history, ..., t]`` (zero-padded at the start)."""
+        start = slice_index - history
+        pieces = []
+        for t in range(start, slice_index + 1):
+            if t < 0:
+                pieces.append(np.zeros(self.num_channels))
+            else:
+                pieces.append(self.values[segment_id, t])
+        return np.concatenate(pieces)
+
+    def channel_index(self, name: str) -> int:
+        return self.channels.index(name)
+
+    def normalised(self) -> Tuple["TrafficStateSeries", np.ndarray, np.ndarray]:
+        """Z-score the series per channel; returns (series, mean, std)."""
+        mean = self.values.reshape(-1, self.num_channels).mean(axis=0)
+        std = self.values.reshape(-1, self.num_channels).std(axis=0)
+        std = np.where(std < 1e-9, 1.0, std)
+        normalised = TrafficStateSeries((self.values - mean) / std, self.time_axis, self.channels)
+        return normalised, mean, std
+
+    def copy(self) -> "TrafficStateSeries":
+        return TrafficStateSeries(self.values.copy(), self.time_axis, self.channels)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trajectories(
+        cls,
+        trajectories: Sequence[Trajectory],
+        num_segments: int,
+        time_axis: TimeAxis,
+        segment_lengths: Optional[np.ndarray] = None,
+        default_speed: float = 40.0,
+    ) -> "TrafficStateSeries":
+        """Aggregate trajectories into traffic states.
+
+        For every (segment, slice) cell we count vehicles entering (inflow)
+        and leaving (outflow), and average the observed traversal speeds.
+        Cells never visited fall back to ``default_speed`` and zero flows —
+        mirroring how the paper computes traffic states from map-matched
+        trajectories.
+        """
+        values = np.zeros((num_segments, time_axis.num_slices, len(TRAFFIC_CHANNELS)))
+        speed_sum = np.zeros((num_segments, time_axis.num_slices))
+        speed_count = np.zeros((num_segments, time_axis.num_slices))
+        speed_idx = TRAFFIC_CHANNELS.index("speed")
+        inflow_idx = TRAFFIC_CHANNELS.index("inflow")
+        outflow_idx = TRAFFIC_CHANNELS.index("outflow")
+
+        for trajectory in trajectories:
+            segments = trajectory.segments
+            times = trajectory.timestamps
+            for position in range(len(segments)):
+                segment = segments[position]
+                if not 0 <= segment < num_segments:
+                    continue
+                slice_index = time_axis.slice_of(times[position])
+                values[segment, slice_index, inflow_idx] += 1.0
+                if position + 1 < len(segments):
+                    # The vehicle leaves this segment when it reaches the next one.
+                    leave_slice = time_axis.slice_of(times[position + 1])
+                    values[segment, leave_slice, outflow_idx] += 1.0
+                    dwell = times[position + 1] - times[position]
+                    if dwell > 0 and segment_lengths is not None:
+                        speed_kmh = segment_lengths[segment] / dwell * 3600.0
+                        speed_sum[segment, slice_index] += speed_kmh
+                        speed_count[segment, slice_index] += 1.0
+
+        observed = speed_count > 0
+        values[:, :, speed_idx] = np.where(observed, speed_sum / np.maximum(speed_count, 1.0), default_speed)
+        return cls(values, time_axis)

@@ -1,0 +1,156 @@
+"""Trajectories: time-ordered sequences of road segments (Definition 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Trajectory:
+    """An individual's trip over the road network.
+
+    ``segments[l]`` is the road segment occupied at ``timestamps[l]``; both
+    sequences have the same length ``L`` and timestamps are non-decreasing.
+    ``user_id`` identifies the traveller (used by trajectory–user linkage)
+    and ``label`` optionally carries a traffic-pattern class (used by the
+    binary classification task on the BJ-like dataset).
+    """
+
+    trajectory_id: int
+    user_id: int
+    segments: List[int]
+    timestamps: List[float]
+    label: Optional[int] = None
+    metadata: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.segments) != len(self.timestamps):
+            raise ValueError("segments and timestamps must have the same length")
+        if len(self.segments) < 2:
+            raise ValueError("a trajectory needs at least two samples")
+        if any(b < a for a, b in zip(self.timestamps, self.timestamps[1:])):
+            raise ValueError("timestamps must be non-decreasing")
+        self.segments = [int(s) for s in self.segments]
+        self.timestamps = [float(t) for t in self.timestamps]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    @property
+    def origin(self) -> int:
+        return self.segments[0]
+
+    @property
+    def destination(self) -> int:
+        return self.segments[-1]
+
+    @property
+    def start_time(self) -> float:
+        return self.timestamps[0]
+
+    @property
+    def end_time(self) -> float:
+        return self.timestamps[-1]
+
+    @property
+    def duration(self) -> float:
+        """Total travel time in seconds."""
+        return self.end_time - self.start_time
+
+    def travel_intervals(self) -> np.ndarray:
+        """Per-step travel times ``delta tau_l = tau_l - tau_{l-1}`` (length ``L-1``)."""
+        times = np.asarray(self.timestamps)
+        return np.diff(times)
+
+    def segment_array(self) -> np.ndarray:
+        return np.asarray(self.segments, dtype=np.int64)
+
+    def timestamp_array(self) -> np.ndarray:
+        return np.asarray(self.timestamps, dtype=np.float64)
+
+    def slice(self, start: int, stop: int) -> "Trajectory":
+        """Sub-trajectory covering samples ``[start, stop)``."""
+        return Trajectory(
+            trajectory_id=self.trajectory_id,
+            user_id=self.user_id,
+            segments=self.segments[start:stop],
+            timestamps=self.timestamps[start:stop],
+            label=self.label,
+            metadata=dict(self.metadata),
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "trajectory_id": self.trajectory_id,
+            "user_id": self.user_id,
+            "segments": list(self.segments),
+            "timestamps": list(self.timestamps),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Trajectory":
+        return cls(
+            trajectory_id=int(payload["trajectory_id"]),
+            user_id=int(payload["user_id"]),
+            segments=list(payload["segments"]),
+            timestamps=list(payload["timestamps"]),
+            label=payload.get("label"),
+        )
+
+
+def subsample_trajectory(
+    trajectory: Trajectory,
+    keep_ratio: float,
+    rng: Optional[np.random.Generator] = None,
+    keep_endpoints: bool = True,
+) -> Tuple[Trajectory, np.ndarray]:
+    """Down-sample a trajectory, returning the sparse trajectory and kept indices.
+
+    This models the "low-sampling-rate trajectory" input of the recovery task
+    (Table IV): a mask ratio of 0.9 corresponds to ``keep_ratio=0.1``.
+
+    Parameters
+    ----------
+    trajectory:
+        The full-rate trajectory.
+    keep_ratio:
+        Fraction of samples to keep, in ``(0, 1]``.
+    rng:
+        Random generator; defaults to a fresh default generator.
+    keep_endpoints:
+        Always keep the first and last samples (recovery baselines and
+        BIGCity all assume known origin/destination).
+
+    Returns
+    -------
+    (sparse_trajectory, kept_indices)
+        ``kept_indices`` refers to positions in the original trajectory and is
+        sorted ascending.
+    """
+    if not 0.0 < keep_ratio <= 1.0:
+        raise ValueError("keep_ratio must be in (0, 1]")
+    rng = rng or np.random.default_rng()
+    length = len(trajectory)
+    target = max(2, int(round(length * keep_ratio)))
+    candidates = np.arange(1, length - 1)
+    forced = [0, length - 1] if keep_endpoints else []
+    remaining = max(target - len(forced), 0)
+    if remaining > 0 and len(candidates) > 0:
+        chosen = rng.choice(candidates, size=min(remaining, len(candidates)), replace=False)
+    else:
+        chosen = np.array([], dtype=np.int64)
+    kept = np.unique(np.concatenate([np.asarray(forced, dtype=np.int64), chosen.astype(np.int64)]))
+    sparse = Trajectory(
+        trajectory_id=trajectory.trajectory_id,
+        user_id=trajectory.user_id,
+        segments=[trajectory.segments[i] for i in kept],
+        timestamps=[trajectory.timestamps[i] for i in kept],
+        label=trajectory.label,
+        metadata=dict(trajectory.metadata),
+    )
+    return sparse, kept

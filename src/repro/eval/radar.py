@@ -1,0 +1,84 @@
+"""Text rendering of the per-task radar chart (Figure 1).
+
+The paper's Figure 1 is a radar chart of BIGCity's normalised score on every
+task.  Matplotlib is not available offline, so this module renders the same
+information as plain text: one horizontal bar per axis, scaled to a reference
+value of 1.0 (parity with the best task-specific baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.eval.results import ResultTable
+
+__all__ = ["render_radar", "radar_from_table"]
+
+
+def render_radar(
+    axes: Mapping[str, float],
+    width: int = 40,
+    reference: float = 1.0,
+    title: Optional[str] = None,
+) -> str:
+    """Render one bar per radar axis.
+
+    Parameters
+    ----------
+    axes:
+        Mapping from axis name (task) to the normalised score; ``reference``
+        (1.0 by default) marks parity with the best baseline and is drawn as
+        a ``|`` tick on every bar.
+    width:
+        Number of character cells corresponding to ``2 * reference``; values
+        above that are clipped (and annotated with their numeric value, so no
+        information is lost).
+    reference:
+        The value rendered at the middle of the bar.
+
+    Returns
+    -------
+    str
+        A multi-line string; one line per axis plus an optional title and a
+        legend line.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10 characters")
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    if not axes:
+        raise ValueError("the radar chart needs at least one axis")
+
+    label_width = max(len(str(name)) for name in axes)
+    full_scale = 2.0 * reference
+    reference_cell = int(round(width * reference / full_scale))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for name, value in axes.items():
+        value = float(value)
+        filled = int(round(min(max(value, 0.0), full_scale) / full_scale * width))
+        cells = []
+        for cell in range(width):
+            if cell == reference_cell:
+                cells.append("|")
+            elif cell < filled:
+                cells.append("#")
+            else:
+                cells.append(".")
+        marker = " >1x" if value >= reference else ""
+        lines.append(f"{str(name):>{label_width}}  [{''.join(cells)}] {value:6.3f}{marker}")
+    lines.append(f"{'':>{label_width}}  ('|' marks parity with the best task-specific baseline)")
+    return "\n".join(lines)
+
+
+def radar_from_table(table: ResultTable, model: str = "bigcity", width: int = 40) -> str:
+    """Render the radar chart for one row of a :class:`ResultTable`.
+
+    This is the convenience wrapper used by the CLI: the table produced by
+    ``run_fig1_radar`` has a single row whose columns are the radar axes.
+    """
+    if model not in table.rows:
+        raise KeyError(f"model {model!r} not present in the table (rows: {sorted(table.rows)})")
+    return render_radar(table.rows[model], width=width, title=table.title)

@@ -1,0 +1,111 @@
+"""Experiment registry: the per-experiment index required by DESIGN.md.
+
+Maps each paper artefact (table or figure) to the runner that regenerates it,
+together with the workload description and the benchmark file to execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.eval import experiments
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible artefact of the paper's evaluation section."""
+
+    experiment_id: str
+    paper_reference: str
+    description: str
+    runner: Callable
+    benchmark_target: str
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "table2": ExperimentSpec(
+        experiment_id="table2",
+        paper_reference="Table II",
+        description="Dataset statistics of the three (synthetic substitute) cities.",
+        runner=experiments.run_table2_dataset_statistics,
+        benchmark_target="benchmarks/test_table2_datasets.py",
+    ),
+    "table3": ExperimentSpec(
+        experiment_id="table3",
+        paper_reference="Table III",
+        description="Trajectory non-generative tasks (TTE, classification, next hop, similarity) vs 7 baselines.",
+        runner=experiments.run_table3_trajectory_tasks,
+        benchmark_target="benchmarks/test_table3_trajectory_tasks.py",
+    ),
+    "table4": ExperimentSpec(
+        experiment_id="table4",
+        paper_reference="Table IV",
+        description="Trajectory recovery at 85/90/95% mask ratios vs 4 recovery baselines.",
+        runner=experiments.run_table4_recovery,
+        benchmark_target="benchmarks/test_table4_recovery.py",
+    ),
+    "table5": ExperimentSpec(
+        experiment_id="table5",
+        paper_reference="Table V",
+        description="Traffic-state one-step / multi-step prediction and imputation vs 7 baselines.",
+        runner=experiments.run_table5_traffic_state,
+        benchmark_target="benchmarks/test_table5_traffic_state.py",
+    ),
+    "table6": ExperimentSpec(
+        experiment_id="table6",
+        paper_reference="Table VI",
+        description="Cross-city generalisation: backbone trained on BJ-like transferred to XA/CD-like.",
+        runner=experiments.run_table6_generalization,
+        benchmark_target="benchmarks/test_table6_generalization.py",
+    ),
+    "table7": ExperimentSpec(
+        experiment_id="table7",
+        paper_reference="Table VII",
+        description="Design ablations: w/o dynamic encoder, static encoder, fusion, prompts.",
+        runner=experiments.run_table7_design_ablations,
+        benchmark_target="benchmarks/test_table7_ablation_design.py",
+    ),
+    "table8": ExperimentSpec(
+        experiment_id="table8",
+        paper_reference="Table VIII",
+        description="Multi-task co-training ablation over {next hop, TTE, multi-step} subsets.",
+        runner=experiments.run_table8_cotraining_ablations,
+        benchmark_target="benchmarks/test_table8_ablation_cotraining.py",
+    ),
+    "table9": ExperimentSpec(
+        experiment_id="table9",
+        paper_reference="Table IX",
+        description="Training efficiency: parameter footprint and per-epoch time vs two-stage baselines.",
+        runner=experiments.run_table9_efficiency,
+        benchmark_target="benchmarks/test_table9_efficiency.py",
+    ),
+    "fig1": ExperimentSpec(
+        experiment_id="fig1",
+        paper_reference="Figure 1",
+        description="Radar chart: BIGCity score relative to the best baseline per task.",
+        runner=experiments.run_fig1_radar,
+        benchmark_target="benchmarks/test_fig1_radar.py",
+    ),
+    "fig5": ExperimentSpec(
+        experiment_id="fig5",
+        paper_reference="Figure 5",
+        description="LoRA sensitivity: rank r and module coverage n sweeps on TTE / next hop / similarity.",
+        runner=experiments.run_fig5_lora_sensitivity,
+        benchmark_target="benchmarks/test_fig5_lora_sensitivity.py",
+    ),
+    "fig6": ExperimentSpec(
+        experiment_id="fig6",
+        paper_reference="Figure 6",
+        description="Efficiency and scalability: inference time vs input size, search time / mean rank vs database size.",
+        runner=experiments.run_fig6_scalability,
+        benchmark_target="benchmarks/test_fig6_scalability.py",
+    ),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (e.g. ``"table3"`` or ``"fig5"``)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[experiment_id]

@@ -1,0 +1,100 @@
+"""Repeated-run aggregation (mean ± standard deviation).
+
+The paper repeats every comparison ten times and reports means (standard
+deviations are published alongside the code).  This module provides the same
+machinery for the reproduction: run any experiment callable under several
+seeds and aggregate the resulting :class:`~repro.eval.results.ResultTable`
+objects into per-cell mean and standard deviation tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.eval.results import ResultTable
+
+__all__ = ["AggregatedTable", "aggregate_tables", "repeat_experiment"]
+
+
+@dataclass
+class AggregatedTable:
+    """Mean and standard deviation of a set of result tables."""
+
+    mean: ResultTable
+    std: ResultTable
+    num_runs: int
+
+    def cell(self, model: str, metric: str) -> Tuple[Optional[float], Optional[float]]:
+        """``(mean, std)`` for one cell; ``(None, None)`` if absent."""
+        return self.mean.value(model, metric), self.std.value(model, metric)
+
+    def to_text(self, float_format: str = "{:.3f}") -> str:
+        """Render ``mean ± std`` cells in the same layout as ``ResultTable.to_text``."""
+        metrics = self.mean.metric_names
+        lines = []
+        if self.mean.title:
+            title = f"{self.mean.title} (mean ± std over {self.num_runs} runs)"
+            lines.append(title)
+            lines.append("-" * len(title))
+        header = ["model"] + metrics
+        rows = []
+        for model, values in self.mean.rows.items():
+            row = [model]
+            for metric in metrics:
+                mean = values.get(metric)
+                std = (self.std.rows.get(model) or {}).get(metric)
+                if mean is None:
+                    row.append("-")
+                elif std is None:
+                    row.append(float_format.format(mean))
+                else:
+                    row.append(f"{float_format.format(mean)}±{float_format.format(std)}")
+            rows.append(row)
+        widths = [max(len(str(line[i])) for line in [header] + rows) for i in range(len(header))]
+        for line in [header] + rows:
+            lines.append("  ".join(str(cell).ljust(width) for cell, width in zip(line, widths)))
+        return "\n".join(lines)
+
+
+def aggregate_tables(tables: Sequence[ResultTable]) -> AggregatedTable:
+    """Aggregate result tables produced by repeated runs of one experiment.
+
+    Models or metrics missing from some runs are aggregated over the runs
+    that do contain them.
+    """
+    if not tables:
+        raise ValueError("aggregate_tables needs at least one table")
+    title = tables[0].title
+    higher = dict(tables[0].higher_is_better)
+    samples: Dict[str, Dict[str, List[float]]] = {}
+    for table in tables:
+        for model, row in table.rows.items():
+            model_samples = samples.setdefault(model, {})
+            for metric, value in row.items():
+                model_samples.setdefault(metric, []).append(float(value))
+
+    mean_table = ResultTable(title=title, higher_is_better=higher)
+    std_table = ResultTable(title=f"{title} — std" if title else "std", higher_is_better=higher)
+    for model, metrics in samples.items():
+        mean_table.add_row(model, {metric: float(np.mean(values)) for metric, values in metrics.items()})
+        std_table.add_row(model, {metric: float(np.std(values)) for metric, values in metrics.items()})
+    return AggregatedTable(mean=mean_table, std=std_table, num_runs=len(tables))
+
+
+def repeat_experiment(
+    experiment: Callable[[int], ResultTable],
+    seeds: Sequence[int] = (0, 1, 2),
+) -> AggregatedTable:
+    """Run ``experiment(seed)`` for every seed and aggregate the results.
+
+    The callable receives the seed and must return a :class:`ResultTable`;
+    typical usage builds a fresh :class:`~repro.eval.harness.ExperimentContext`
+    per seed inside the callable.
+    """
+    if not seeds:
+        raise ValueError("repeat_experiment needs at least one seed")
+    tables = [experiment(int(seed)) for seed in seeds]
+    return aggregate_tables(tables)

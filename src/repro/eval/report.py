@@ -1,0 +1,184 @@
+"""Markdown report generation for reproduction runs.
+
+``EXPERIMENTS.md`` records, for every paper table and figure, the values the
+paper reports next to what this reproduction measures.  This module builds
+that kind of artefact programmatically: collect the
+:class:`~repro.eval.results.ResultTable` objects a run produced, optionally
+attach the paper's reference numbers, and render a single Markdown document
+(or save it next to ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.eval.results import ResultTable
+
+__all__ = ["PaperReference", "ReproductionReport"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class PaperReference:
+    """Reference values reported by the paper for one artefact.
+
+    ``values`` maps ``model -> metric -> value`` exactly like
+    :attr:`ResultTable.rows`, so a reference can be compared cell-by-cell
+    against the measured table.  ``note`` carries free-form context (dataset,
+    caveats about the substitution, ...).
+    """
+
+    artefact: str
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    note: str = ""
+
+    def best_by(self, metric: str, higher_is_better: bool = True) -> Optional[str]:
+        candidates = [(model, row[metric]) for model, row in self.values.items() if metric in row]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda item: item[1] if higher_is_better else -item[1])[0]
+
+
+def _markdown_table(rows: Mapping[str, Mapping[str, float]], float_format: str = "{:.3f}") -> List[str]:
+    metrics: List[str] = []
+    for row in rows.values():
+        for metric in row:
+            if metric not in metrics:
+                metrics.append(metric)
+    lines = ["| model | " + " | ".join(metrics) + " |", "|---" * (len(metrics) + 1) + "|"]
+    for model, row in rows.items():
+        cells = [float_format.format(row[m]) if m in row else "-" for m in metrics]
+        lines.append(f"| {model} | " + " | ".join(cells) + " |")
+    return lines
+
+
+class ReproductionReport:
+    """Accumulate measured tables (and paper references) into one document."""
+
+    def __init__(self, title: str = "BIGCity reproduction report") -> None:
+        self.title = title
+        self._sections: List[Dict] = []
+
+    # -- building -------------------------------------------------------------
+    def add_table(
+        self,
+        artefact: str,
+        measured: ResultTable,
+        reference: Optional[PaperReference] = None,
+        commentary: str = "",
+    ) -> None:
+        """Add one artefact (e.g. ``"Table III"``) with its measured table."""
+        if not artefact:
+            raise ValueError("artefact must be a non-empty identifier")
+        self._sections.append(
+            {
+                "artefact": artefact,
+                "measured": measured,
+                "reference": reference,
+                "commentary": commentary,
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self._sections)
+
+    # -- analysis -------------------------------------------------------------
+    def shape_agreement(self) -> Dict[str, bool]:
+        """Per-artefact check: does the measured winner match the paper's winner?
+
+        Only artefacts with a reference are checked; the comparison is made on
+        every metric present in both tables and the artefact agrees when the
+        winners match on at least half of those metrics.
+        """
+        agreement: Dict[str, bool] = {}
+        for section in self._sections:
+            reference: Optional[PaperReference] = section["reference"]
+            measured: ResultTable = section["measured"]
+            if reference is None:
+                continue
+            shared_metrics = [
+                metric
+                for metric in measured.metric_names
+                if any(metric in row for row in reference.values.values())
+            ]
+            if not shared_metrics:
+                continue
+            matches = 0
+            for metric in shared_metrics:
+                higher = measured.higher_is_better.get(metric, True)
+                measured_best = measured.best_by(metric)
+                reference_best = reference.best_by(metric, higher_is_better=higher)
+                if measured_best is not None and measured_best == reference_best:
+                    matches += 1
+            agreement[section["artefact"]] = matches * 2 >= len(shared_metrics)
+        return agreement
+
+    # -- rendering ------------------------------------------------------------
+    def to_markdown(self, float_format: str = "{:.3f}") -> str:
+        lines = [f"# {self.title}", ""]
+        agreement = self.shape_agreement()
+        if agreement:
+            lines.append("## Shape agreement summary")
+            lines.append("")
+            lines.append("| artefact | winners match the paper |")
+            lines.append("|---|---|")
+            for artefact, agrees in agreement.items():
+                lines.append(f"| {artefact} | {'yes' if agrees else 'no'} |")
+            lines.append("")
+        for section in self._sections:
+            measured: ResultTable = section["measured"]
+            reference: Optional[PaperReference] = section["reference"]
+            lines.append(f"## {section['artefact']}")
+            lines.append("")
+            if section["commentary"]:
+                lines.append(section["commentary"])
+                lines.append("")
+            lines.append("### Measured")
+            lines.append("")
+            lines.extend(_markdown_table(measured.rows, float_format))
+            lines.append("")
+            if reference is not None and reference.values:
+                lines.append("### Paper")
+                lines.append("")
+                lines.extend(_markdown_table(reference.values, float_format))
+                if reference.note:
+                    lines.append("")
+                    lines.append(f"*{reference.note}*")
+                lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def to_dict(self) -> Dict:
+        return {
+            "title": self.title,
+            "sections": [
+                {
+                    "artefact": section["artefact"],
+                    "measured": section["measured"].to_dict(),
+                    "reference": (
+                        {
+                            "artefact": section["reference"].artefact,
+                            "values": section["reference"].values,
+                            "note": section["reference"].note,
+                        }
+                        if section["reference"] is not None
+                        else None
+                    ),
+                    "commentary": section["commentary"],
+                }
+                for section in self._sections
+            ],
+            "shape_agreement": self.shape_agreement(),
+        }
+
+    def save(self, path: PathLike) -> Path:
+        """Write the Markdown report (and a JSON sidecar) to disk."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_markdown(), encoding="utf-8")
+        sidecar = path.with_suffix(".json")
+        sidecar.write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+        return path

@@ -1,0 +1,95 @@
+"""Result tables: the rows the benchmark harness prints for every experiment."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ResultTable:
+    """A simple (model x metric) table with formatting helpers.
+
+    The benchmark harness prints these tables so that each run reproduces the
+    rows of the corresponding paper table; ``best_by`` makes the "who wins"
+    comparison explicit.
+    """
+
+    title: str
+    #: metric name -> True when larger is better.
+    higher_is_better: Dict[str, bool] = field(default_factory=dict)
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def add_row(self, model: str, metrics: Dict[str, float]) -> None:
+        """Add (or extend) the metrics of one model."""
+        row = self.rows.setdefault(model, {})
+        for key, value in metrics.items():
+            row[key] = float(value)
+
+    @property
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows.values():
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def value(self, model: str, metric: str) -> Optional[float]:
+        return self.rows.get(model, {}).get(metric)
+
+    def best_by(self, metric: str) -> Optional[str]:
+        """Name of the best model according to ``metric``."""
+        candidates = [(model, row[metric]) for model, row in self.rows.items() if metric in row]
+        if not candidates:
+            return None
+        higher = self.higher_is_better.get(metric, True)
+        return max(candidates, key=lambda item: item[1] if higher else -item[1])[0]
+
+    def winners(self) -> Dict[str, str]:
+        """Best model per metric."""
+        return {metric: self.best_by(metric) for metric in self.metric_names}
+
+    def rank_of(self, model: str, metric: str) -> Optional[int]:
+        """1-based rank of ``model`` under ``metric`` (1 = best)."""
+        candidates = [(name, row[metric]) for name, row in self.rows.items() if metric in row]
+        if not candidates or model not in dict(candidates):
+            return None
+        higher = self.higher_is_better.get(metric, True)
+        ordered = sorted(candidates, key=lambda item: -item[1] if higher else item[1])
+        return [name for name, _ in ordered].index(model) + 1
+
+    # ------------------------------------------------------------------
+    def to_text(self, float_format: str = "{:.3f}") -> str:
+        """Plain-text rendering (used by the benchmark harness printouts)."""
+        metrics = self.metric_names
+        header = ["model"] + metrics
+        lines = [self.title, "-" * len(self.title)]
+        widths = [max(len(header[0]), max((len(m) for m in self.rows), default=5))]
+        widths += [max(len(name), 9) for name in metrics]
+        lines.append("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+        for model, row in self.rows.items():
+            cells = [model.ljust(widths[0])]
+            for metric, width in zip(metrics, widths[1:]):
+                value = row.get(metric)
+                cell = float_format.format(value) if value is not None else "-"
+                cells.append(cell.ljust(width))
+            lines.append("  ".join(cells))
+        winner_cells = ["best".ljust(widths[0])]
+        for metric, width in zip(metrics, widths[1:]):
+            winner = self.best_by(metric) or "-"
+            winner_cells.append(winner.ljust(width))
+        lines.append("  ".join(winner_cells))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "title": self.title,
+            "higher_is_better": dict(self.higher_is_better),
+            "rows": {model: dict(row) for model, row in self.rows.items()},
+            "winners": self.winners(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

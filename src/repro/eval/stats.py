@@ -1,0 +1,158 @@
+"""Statistical significance helpers for model comparisons.
+
+The paper repeats each comparison ten times and reports means; when two
+models are close, the interesting question is whether the gap is larger than
+run-to-run noise.  This module provides the standard tools for that question
+on paired per-sample scores (two models evaluated on the same test cases):
+
+* :func:`paired_t_test` — classical paired t-test.
+* :func:`wilcoxon_test` — non-parametric signed-rank alternative.
+* :func:`bootstrap_difference` — bootstrap confidence interval on the mean
+  difference.
+* :func:`compare_models` — one-call summary combining the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = [
+    "ComparisonResult",
+    "paired_t_test",
+    "wilcoxon_test",
+    "bootstrap_difference",
+    "compare_models",
+]
+
+
+def _paired(first, second) -> Tuple[np.ndarray, np.ndarray]:
+    first = np.asarray(first, dtype=np.float64).reshape(-1)
+    second = np.asarray(second, dtype=np.float64).reshape(-1)
+    if first.shape != second.shape:
+        raise ValueError(f"paired scores must have the same length ({first.shape[0]} vs {second.shape[0]})")
+    if first.shape[0] < 2:
+        raise ValueError("paired comparisons need at least two samples")
+    return first, second
+
+
+def paired_t_test(first: Sequence[float], second: Sequence[float]) -> Tuple[float, float]:
+    """Paired t-test on two aligned score vectors; returns ``(statistic, p_value)``."""
+    first, second = _paired(first, second)
+    if np.allclose(first, second):
+        return 0.0, 1.0
+    result = scipy_stats.ttest_rel(first, second)
+    return float(result.statistic), float(result.pvalue)
+
+
+def wilcoxon_test(first: Sequence[float], second: Sequence[float]) -> Tuple[float, float]:
+    """Wilcoxon signed-rank test; returns ``(statistic, p_value)``.
+
+    Falls back to ``(0, 1)`` when all differences are zero (the test is
+    undefined there, and the models are trivially indistinguishable).
+    """
+    first, second = _paired(first, second)
+    differences = first - second
+    if np.allclose(differences, 0.0):
+        return 0.0, 1.0
+    result = scipy_stats.wilcoxon(first, second)
+    return float(result.statistic), float(result.pvalue)
+
+
+def bootstrap_difference(
+    first: Sequence[float],
+    second: Sequence[float],
+    num_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, Tuple[float, float]]:
+    """Bootstrap the mean difference ``first - second``.
+
+    Returns ``(mean_difference, (low, high))`` where the interval is the
+    central ``confidence`` quantile range of the bootstrap distribution.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if num_resamples < 1:
+        raise ValueError("num_resamples must be positive")
+    first, second = _paired(first, second)
+    differences = first - second
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, len(differences), size=(num_resamples, len(differences)))
+    resampled_means = differences[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resampled_means, [alpha, 1.0 - alpha])
+    return float(differences.mean()), (float(low), float(high))
+
+
+@dataclass
+class ComparisonResult:
+    """Summary of a paired comparison between two models."""
+
+    model_a: str
+    model_b: str
+    metric: str
+    mean_a: float
+    mean_b: float
+    mean_difference: float
+    t_statistic: float
+    t_p_value: float
+    wilcoxon_p_value: float
+    confidence_interval: Tuple[float, float]
+    higher_is_better: bool
+
+    @property
+    def winner(self) -> str:
+        """The model with the better mean (ties go to ``model_a``)."""
+        if self.mean_a == self.mean_b:
+            return self.model_a
+        a_better = self.mean_a > self.mean_b if self.higher_is_better else self.mean_a < self.mean_b
+        return self.model_a if a_better else self.model_b
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Whether the paired t-test rejects equality at level ``alpha``."""
+        return self.t_p_value < alpha
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "mean_a": self.mean_a,
+            "mean_b": self.mean_b,
+            "mean_difference": self.mean_difference,
+            "t_statistic": self.t_statistic,
+            "t_p_value": self.t_p_value,
+            "wilcoxon_p_value": self.wilcoxon_p_value,
+            "ci_low": self.confidence_interval[0],
+            "ci_high": self.confidence_interval[1],
+        }
+
+
+def compare_models(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    model_a: str = "a",
+    model_b: str = "b",
+    metric: str = "score",
+    higher_is_better: bool = True,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Run the full paired-comparison battery on two aligned score vectors."""
+    first, second = _paired(scores_a, scores_b)
+    t_statistic, t_p_value = paired_t_test(first, second)
+    _, wilcoxon_p_value = wilcoxon_test(first, second)
+    mean_difference, interval = bootstrap_difference(first, second, seed=seed)
+    return ComparisonResult(
+        model_a=model_a,
+        model_b=model_b,
+        metric=metric,
+        mean_a=float(first.mean()),
+        mean_b=float(second.mean()),
+        mean_difference=mean_difference,
+        t_statistic=t_statistic,
+        t_p_value=t_p_value,
+        wilcoxon_p_value=wilcoxon_p_value,
+        confidence_interval=interval,
+        higher_is_better=higher_is_better,
+    )

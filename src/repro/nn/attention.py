@@ -1,0 +1,134 @@
+"""Attention mechanisms: multi-head self/cross attention and attention pooling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Multi-head scaled dot-product attention.
+
+    Supports self-attention (``key_value=None``) and cross-attention, causal
+    masking (used by the GPT-2 backbone) and padding masks.  Inputs are shaped
+    ``(batch, sequence, d_model)``.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        causal: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} must be divisible by num_heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.head_dim = d_model // num_heads
+        self.causal = causal
+        self.q_proj = Linear(d_model, d_model, rng=rng)
+        self.k_proj = Linear(d_model, d_model, rng=rng)
+        self.v_proj = Linear(d_model, d_model, rng=rng)
+        self.out_proj = Linear(d_model, d_model, rng=rng)
+        self.attn_dropout = Dropout(dropout)
+        self.resid_dropout = Dropout(dropout)
+        self._last_attention: Optional[np.ndarray] = None
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, length, head_dim = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, heads * head_dim)
+
+    def forward(
+        self,
+        query: Tensor,
+        key_value: Optional[Tensor] = None,
+        padding_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Attend from ``query`` to ``key_value`` (or to itself).
+
+        Parameters
+        ----------
+        query:
+            ``(batch, q_len, d_model)`` tensor.
+        key_value:
+            ``(batch, kv_len, d_model)`` tensor; defaults to ``query``.
+        padding_mask:
+            Boolean ``(batch, kv_len)`` array, ``True`` at padded key
+            positions to exclude from attention.
+        """
+        source = query if key_value is None else key_value
+        q = self._split_heads(self.q_proj(query))
+        k = self._split_heads(self.k_proj(source))
+        v = self._split_heads(self.v_proj(source))
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale
+
+        q_len = query.shape[1]
+        kv_len = source.shape[1]
+        mask = np.zeros((1, 1, q_len, kv_len), dtype=bool)
+        if self.causal:
+            if key_value is not None and kv_len != q_len:
+                raise ValueError("causal attention requires self-attention with equal lengths")
+            mask = mask | np.triu(np.ones((q_len, kv_len), dtype=bool), k=1)[None, None]
+        if padding_mask is not None:
+            pad = np.asarray(padding_mask, dtype=bool)[:, None, None, :]
+            mask = mask | pad
+        if mask.any():
+            scores = scores.masked_fill(mask, -1e9)
+
+        attention = scores.softmax(axis=-1)
+        self._last_attention = attention.data
+        attention = self.attn_dropout(attention)
+        context = attention.matmul(v)
+        out = self.out_proj(self._merge_heads(context))
+        return self.resid_dropout(out)
+
+    @property
+    def last_attention(self) -> Optional[np.ndarray]:
+        """Attention weights from the latest forward pass (for inspection)."""
+        return self._last_attention
+
+
+class CrossAttentionPool(Module):
+    """Fusion attention used by the ST tokenizer (Eq. 6–7 in the paper).
+
+    Every road segment attends over all segments through a learnable query
+    projection, producing fused spatial representations that capture
+    long-range dependencies beyond the GAT neighbourhood.
+    """
+
+    def __init__(self, d_model: int, dropout: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.d_model = d_model
+        self.query_proj = Linear(d_model, d_model, rng=rng)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, h: Tensor) -> Tensor:
+        """Fuse representations ``h`` of shape ``(num_segments, d_model)``.
+
+        Implements ``alpha_ij = q_i . h_j / sqrt(2 D_h)`` followed by a
+        normalised weighted sum (Eq. 7).  The attended context is added to
+        each segment's own representation (residual connection) so that the
+        fused output keeps segment identity while gaining long-range context;
+        without the residual the early-training attention is near uniform and
+        every segment collapses to the same vector.
+        """
+        q = self.query_proj(h)
+        scale = 1.0 / np.sqrt(2.0 * self.d_model)
+        scores = q.matmul(h.transpose()) * scale
+        weights = scores.softmax(axis=-1)
+        weights = self.dropout(weights)
+        return h + weights.matmul(h)

@@ -1,0 +1,114 @@
+"""Functional helpers operating on :class:`repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    return x.gelu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.log_softmax(axis=axis)
+
+
+def dropout(x: Tensor, p: float, training: bool = True) -> Tensor:
+    return x.dropout(p, training=training)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Apply ``x @ weight.T + bias`` (same convention as ``torch.nn.functional.linear``)."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    return Tensor.concat(tensors, axis=axis)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    return Tensor.stack(tensors, axis=axis)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a dense one-hot encoding of ``indices``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
+    return out
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean mask that is ``True`` above the diagonal (positions to hide)."""
+    return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+def padding_mask(lengths: Sequence[int], max_length: Optional[int] = None) -> np.ndarray:
+    """Boolean mask that is ``True`` at padded positions.
+
+    Parameters
+    ----------
+    lengths:
+        Valid sequence length per batch element.
+    max_length:
+        Padded length; defaults to ``max(lengths)``.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    max_length = int(max_length if max_length is not None else lengths.max())
+    positions = np.arange(max_length)[None, :]
+    return positions >= lengths[:, None]
+
+
+def masked_mean(x: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
+    """Mean over ``axis`` ignoring positions where ``mask`` is ``True``.
+
+    ``mask`` follows the padding-mask convention (True = ignore) and must be
+    broadcastable against ``x`` without its feature dimension.
+    """
+    keep = (~np.asarray(mask, dtype=bool)).astype(np.float64)
+    while keep.ndim < x.ndim:
+        keep = keep[..., None]
+    keep_t = Tensor(keep)
+    total = (x * keep_t).sum(axis=axis)
+    count = keep_t.sum(axis=axis).clip(1e-9, np.inf)
+    return total / count
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-9) -> Tensor:
+    """Cosine similarity along ``axis``."""
+    dot = (a * b).sum(axis=axis)
+    norm_a = (a * a).sum(axis=axis).clip(eps, np.inf).sqrt()
+    norm_b = (b * b).sum(axis=axis).clip(eps, np.inf).sqrt()
+    return dot / (norm_a * norm_b)
+
+
+def pairwise_cosine_similarity(a: np.ndarray, b: np.ndarray, eps: float = 1e-9) -> np.ndarray:
+    """Dense cosine-similarity matrix between rows of ``a`` and rows of ``b``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    a_norm = a / np.maximum(np.linalg.norm(a, axis=1, keepdims=True), eps)
+    b_norm = b / np.maximum(np.linalg.norm(b, axis=1, keepdims=True), eps)
+    return a_norm @ b_norm.T

@@ -1,0 +1,135 @@
+"""Graph attention network (GAT) layers.
+
+The ST tokenizer (Sec. IV-B) encodes the static and dynamic features of the
+road network with GATs over the road graph ``G = {R, A, E}``.  The layer
+follows Velickovic et al. (2018): per-edge attention coefficients computed
+from concatenated projected endpoint features, LeakyReLU, softmax over each
+node's in-neighbourhood, optional multi-head concatenation/averaging.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.layers import Dropout
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+
+class GraphAttentionLayer(Module):
+    """A single graph-attention head over a dense adjacency matrix.
+
+    Inputs are node features ``(num_nodes, in_features)`` and a binary
+    adjacency matrix ``(num_nodes, num_nodes)``; self-loops are always added
+    so every node attends at least to itself.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        dropout: float = 0.0,
+        negative_slope: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.negative_slope = negative_slope
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng))
+        self.attn_src = Parameter(init.xavier_uniform((out_features, 1), rng=rng))
+        self.attn_dst = Parameter(init.xavier_uniform((out_features, 1), rng=rng))
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+        adjacency = np.asarray(adjacency, dtype=bool)
+        num_nodes = adjacency.shape[0]
+        if adjacency.shape != (num_nodes, num_nodes):
+            raise ValueError("adjacency must be square")
+        if x.shape[0] != num_nodes:
+            raise ValueError("feature row count must match adjacency size")
+        with_self_loops = adjacency | np.eye(num_nodes, dtype=bool)
+
+        h = x.matmul(self.weight)
+        # e_ij = LeakyReLU(a_src . h_i + a_dst . h_j); broadcast to a matrix.
+        src_scores = h.matmul(self.attn_src)  # (N, 1)
+        dst_scores = h.matmul(self.attn_dst)  # (N, 1)
+        scores = (src_scores + dst_scores.transpose()).leaky_relu(self.negative_slope)
+        scores = scores.masked_fill(~with_self_loops, -1e9)
+        attention = scores.softmax(axis=-1)
+        attention = self.dropout(attention)
+        return attention.matmul(h)
+
+
+class GAT(Module):
+    """Multi-head, multi-layer GAT with ELU-style nonlinearity between layers.
+
+    ``head_aggregation`` is ``"concat"`` for hidden layers and ``"mean"`` for
+    the output layer, matching the reference GAT formulation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        out_features: int,
+        num_layers: int = 2,
+        num_heads: int = 2,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.num_layers = num_layers
+        self.num_heads = num_heads
+        self.layers = ModuleList()
+        dims_in = in_features
+        for layer_idx in range(num_layers):
+            is_last = layer_idx == num_layers - 1
+            out_dim = out_features if is_last else hidden_features
+            heads = ModuleList(
+                [GraphAttentionLayer(dims_in, out_dim, dropout=dropout, rng=rng) for _ in range(num_heads)]
+            )
+            self.layers.append(heads)
+            dims_in = out_dim if is_last else out_dim * num_heads
+
+    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+        h = x
+        for layer_idx, heads in enumerate(self.layers):
+            outputs = [head(h, adjacency) for head in heads]
+            is_last = layer_idx == self.num_layers - 1
+            if is_last:
+                h = outputs[0]
+                for extra in outputs[1:]:
+                    h = h + extra
+                h = h * (1.0 / len(outputs))
+            else:
+                h = Tensor.concat(outputs, axis=-1).relu()
+        return h
+
+
+def normalized_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetrically normalised adjacency ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    Several baseline models (DCRNN, GWNET, MTGNN, STGODE) propagate signals
+    with normalised adjacency matrices rather than attention; this helper is
+    shared by all of them.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if add_self_loops:
+        adjacency = adjacency + np.eye(adjacency.shape[0])
+    degrees = adjacency.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+    return adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+
+
+def random_walk_matrix(adjacency: np.ndarray) -> np.ndarray:
+    """Row-normalised transition matrix ``D^{-1} A`` used by diffusion convolution."""
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    degrees = adjacency.sum(axis=1)
+    inv = 1.0 / np.maximum(degrees, 1e-12)
+    return adjacency * inv[:, None]

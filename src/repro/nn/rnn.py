@@ -1,0 +1,73 @@
+"""Recurrent layers (GRU) used by the RNN-based baseline models."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit cell."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.reset_gate = Linear(input_size + hidden_size, hidden_size, rng=rng)
+        self.update_gate = Linear(input_size + hidden_size, hidden_size, rng=rng)
+        self.candidate = Linear(input_size + hidden_size, hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """One step: ``x`` is ``(batch, input_size)``, ``hidden`` is ``(batch, hidden_size)``."""
+        combined = Tensor.concat([x, hidden], axis=-1)
+        reset = self.reset_gate(combined).sigmoid()
+        update = self.update_gate(combined).sigmoid()
+        candidate_input = Tensor.concat([x, reset * hidden], axis=-1)
+        candidate = self.candidate(candidate_input).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+
+class GRU(Module):
+    """A (single-layer) GRU over ``(batch, time, input_size)`` sequences.
+
+    Padded positions (given by ``padding_mask``, True = padded) keep the
+    previous hidden state, so the final hidden state corresponds to the last
+    real element of each sequence.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        padding_mask: Optional[np.ndarray] = None,
+        initial_hidden: Optional[Tensor] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Return ``(outputs, final_hidden)``.
+
+        ``outputs`` has shape ``(batch, time, hidden_size)`` and contains the
+        hidden state after every step; ``final_hidden`` is ``(batch,
+        hidden_size)``.
+        """
+        batch, length, _ = x.shape
+        hidden = initial_hidden if initial_hidden is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: List[Tensor] = []
+        for step in range(length):
+            step_input = x[:, step, :]
+            new_hidden = self.cell(step_input, hidden)
+            if padding_mask is not None:
+                keep = np.asarray(padding_mask, dtype=bool)[:, step][:, None]
+                keep_tensor = Tensor(keep.astype(np.float64))
+                new_hidden = new_hidden * (1.0 - keep_tensor) + hidden * keep_tensor
+            hidden = new_hidden
+            outputs.append(hidden)
+        return Tensor.stack(outputs, axis=1), hidden

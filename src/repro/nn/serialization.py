@@ -1,0 +1,55 @@
+"""Saving and loading module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_state_dict(module: Module, path: PathLike, metadata: Optional[Dict[str, str]] = None) -> Path:
+    """Serialise ``module.state_dict()`` (plus optional metadata) to ``path``.
+
+    The file is a standard ``numpy.savez_compressed`` archive; metadata is
+    stored under the reserved key ``__metadata__`` as a JSON string.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    arrays = dict(state)
+    if metadata:
+        arrays["__metadata__"] = np.array(json.dumps(metadata))
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_state_dict(module: Module, path: PathLike, strict: bool = True) -> Dict[str, str]:
+    """Load a ``.npz`` archive produced by :func:`save_state_dict` into ``module``.
+
+    Returns the metadata dictionary (empty if none was stored).
+    """
+    path = Path(path)
+    if not path.exists():
+        # numpy appends .npz when saving without a suffix
+        candidate = path.with_suffix(path.suffix + ".npz")
+        if candidate.exists():
+            path = candidate
+        else:
+            raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata: Dict[str, str] = {}
+        state = {}
+        for key in archive.files:
+            if key == "__metadata__":
+                metadata = json.loads(str(archive[key]))
+            else:
+                state[key] = archive[key]
+    module.load_state_dict(state, strict=strict)
+    return metadata

@@ -1,0 +1,172 @@
+"""Temporal convolutional layers (causal, dilated 1-D convolutions).
+
+The traffic-state literature the paper compares against (Graph WaveNet,
+MTGNN) models temporal dependencies with dilated causal convolutions rather
+than recurrence.  This module provides the building blocks on top of the
+autograd :class:`~repro.nn.tensor.Tensor`:
+
+* :class:`CausalConv1d` — a dilated causal convolution over ``(B, L, C)``
+  sequences (channel-last, matching the rest of the library).
+* :class:`TemporalBlock` — the standard two-convolution residual block.
+* :class:`TemporalConvNet` — a stack of blocks with exponentially growing
+  dilation, exposing a receptive-field helper.
+
+The convolution is expressed as a sum of shifted affine maps, so it reuses
+the existing dense autograd kernels instead of requiring a dedicated
+convolution primitive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Dropout
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["CausalConv1d", "TemporalBlock", "TemporalConvNet"]
+
+
+class CausalConv1d(Module):
+    """Dilated causal 1-D convolution over channel-last sequences.
+
+    Input and output have shape ``(batch, length, channels)``; output step
+    ``t`` only depends on input steps ``t, t - d, ..., t - (k - 1) d`` where
+    ``k`` is the kernel size and ``d`` the dilation, so the layer never leaks
+    future information.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be at least 1")
+        if dilation < 1:
+            raise ValueError("dilation must be at least 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        # One (out, in) weight matrix per kernel tap; tap 0 is the current step.
+        self.taps = ModuleList()
+        self.weights = []
+        for tap in range(kernel_size):
+            weight = Parameter(init.xavier_uniform((out_channels, in_channels), rng=rng), name=f"tap{tap}")
+            setattr(self, f"weight_{tap}", weight)
+            self.weights.append(weight)
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    @property
+    def receptive_field(self) -> int:
+        """Number of past steps (inclusive) that influence one output step."""
+        return (self.kernel_size - 1) * self.dilation + 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 3:
+            raise ValueError(f"CausalConv1d expects (batch, length, channels); got shape {x.shape}")
+        batch, length, channels = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {channels}")
+        pad = (self.kernel_size - 1) * self.dilation
+        if pad > 0:
+            zeros = Tensor(np.zeros((batch, pad, channels)))
+            padded = Tensor.concat([zeros, x], axis=1)
+        else:
+            padded = x
+        output = None
+        for tap, weight in enumerate(self.weights):
+            # Tap ``tap`` looks ``tap * dilation`` steps into the past.
+            offset = pad - tap * self.dilation
+            window = padded[:, offset : offset + length, :]
+            term = F.linear(window, weight, None)
+            output = term if output is None else output + term
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+
+class TemporalBlock(Module):
+    """Residual block of two causal convolutions with the same dilation."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 2,
+        dilation: int = 1,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.conv1 = CausalConv1d(in_channels, out_channels, kernel_size, dilation, rng=rng)
+        self.conv2 = CausalConv1d(out_channels, out_channels, kernel_size, dilation, rng=rng)
+        self.dropout = Dropout(dropout)
+        self.downsample = None
+        if in_channels != out_channels:
+            self.downsample = CausalConv1d(in_channels, out_channels, kernel_size=1, dilation=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.dropout(self.conv1(x).relu())
+        hidden = self.dropout(self.conv2(hidden).relu())
+        residual = x if self.downsample is None else self.downsample(x)
+        return (hidden + residual).relu()
+
+
+class TemporalConvNet(Module):
+    """Stack of :class:`TemporalBlock` with exponentially growing dilation."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        channel_sizes: Sequence[int],
+        kernel_size: int = 2,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not channel_sizes:
+            raise ValueError("channel_sizes must contain at least one layer width")
+        self.blocks = ModuleList()
+        previous = in_channels
+        for level, width in enumerate(channel_sizes):
+            block = TemporalBlock(
+                previous,
+                width,
+                kernel_size=kernel_size,
+                dilation=2**level,
+                dropout=dropout,
+                rng=rng,
+            )
+            self.blocks.append(block)
+            previous = width
+        self.out_channels = previous
+        self.kernel_size = kernel_size
+
+    @property
+    def receptive_field(self) -> int:
+        """Total number of past steps visible to the final output step."""
+        field = 1
+        for level in range(len(self.blocks)):
+            field += 2 * (self.kernel_size - 1) * 2**level
+        return field
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return x
+
+    def last_step(self, x: Tensor) -> Tensor:
+        """Convenience: run the network and return the final time step ``(B, C)``."""
+        output = self.forward(x)
+        return output[:, -1, :]

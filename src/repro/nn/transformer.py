@@ -1,0 +1,191 @@
+"""Transformer blocks and a GPT-2-style causal language-model backbone.
+
+BIGCity (Sec. V-B) uses GPT-2 as the backbone of its Versatile Model with
+Task-oriented Prompts.  We reproduce the GPT-2 architecture — pre-norm
+transformer blocks with causal multi-head attention, GELU feed-forward
+layers, learned positional embeddings — at a configurable (CPU-friendly)
+size.  A bidirectional :class:`TransformerEncoder` is also provided for the
+baseline models that need one (Toast, START, RNTrajRec, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network used inside transformer blocks."""
+
+    def __init__(self, d_model: int, d_ff: int, dropout: float = 0.0, rng=None) -> None:
+        super().__init__()
+        self.fc_in = Linear(d_model, d_ff, rng=rng)
+        self.act = GELU()
+        self.fc_out = Linear(d_ff, d_model, rng=rng)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.fc_out(self.act(self.fc_in(x))))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block (GPT-2 layout)."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: Optional[int] = None,
+        dropout: float = 0.0,
+        causal: bool = True,
+        rng=None,
+    ) -> None:
+        super().__init__()
+        d_ff = d_ff or 4 * d_model
+        self.ln_1 = LayerNorm(d_model)
+        self.attn = MultiHeadAttention(d_model, num_heads, dropout=dropout, causal=causal, rng=rng)
+        self.ln_2 = LayerNorm(d_model)
+        self.mlp = FeedForward(d_model, d_ff, dropout=dropout, rng=rng)
+
+    def forward(self, x: Tensor, padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        x = x + self.attn(self.ln_1(x), padding_mask=padding_mask)
+        x = x + self.mlp(self.ln_2(x))
+        return x
+
+
+@dataclass
+class GPT2Config:
+    """Configuration of the GPT-2-style backbone.
+
+    The defaults are deliberately small so that the full BIGCity model trains
+    on a CPU in seconds; the architecture is unchanged from GPT-2 apart from
+    scale.
+    """
+
+    d_model: int = 64
+    num_layers: int = 4
+    num_heads: int = 4
+    d_ff: Optional[int] = None
+    max_position: int = 512
+    dropout: float = 0.0
+    vocab_size: int = 0
+    causal: bool = True
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+        if self.d_ff is None:
+            self.d_ff = 4 * self.d_model
+
+
+class GPT2Model(Module):
+    """A GPT-2-architecture transformer operating on pre-embedded inputs.
+
+    Unlike a text-only GPT-2, the BIGCity backbone receives a mixed sequence
+    of text tokens, ST tokens and task tokens that are already embedded in
+    ``d_model`` dimensions, so this module exposes ``forward(embeddings)``
+    rather than ``forward(token_ids)``.  When ``vocab_size > 0`` a token
+    embedding table is created as well (used by the text-instruction branch
+    and by pure language-model tests).
+    """
+
+    def __init__(self, config: GPT2Config) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        if config.vocab_size > 0:
+            self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
+        else:
+            self.token_embedding = None
+        self.position_embedding = Embedding(config.max_position, config.d_model, rng=rng)
+        self.drop = Dropout(config.dropout)
+        self.blocks = ModuleList(
+            [
+                TransformerBlock(
+                    config.d_model,
+                    config.num_heads,
+                    d_ff=config.d_ff,
+                    dropout=config.dropout,
+                    causal=config.causal,
+                    rng=rng,
+                )
+                for _ in range(config.num_layers)
+            ]
+        )
+        self.ln_f = LayerNorm(config.d_model)
+
+    # ------------------------------------------------------------------
+    def embed_tokens(self, token_ids: np.ndarray) -> Tensor:
+        """Embed integer token ids with the (optional) token table."""
+        if self.token_embedding is None:
+            raise RuntimeError("backbone was built without a token vocabulary")
+        return self.token_embedding(token_ids)
+
+    def forward(
+        self,
+        embeddings: Tensor,
+        padding_mask: Optional[np.ndarray] = None,
+        add_positions: bool = True,
+    ) -> Tensor:
+        """Run the transformer over ``(batch, seq, d_model)`` embeddings."""
+        batch, length, d_model = embeddings.shape
+        if d_model != self.config.d_model:
+            raise ValueError(f"expected embedding dim {self.config.d_model}, got {d_model}")
+        if length > self.config.max_position:
+            raise ValueError(
+                f"sequence length {length} exceeds max_position {self.config.max_position}"
+            )
+        x = embeddings
+        if add_positions:
+            positions = np.arange(length)
+            pos = self.position_embedding(positions).reshape(1, length, d_model)
+            x = x + pos
+        x = self.drop(x)
+        for block in self.blocks:
+            x = block(x, padding_mask=padding_mask)
+        return self.ln_f(x)
+
+    def hidden_size(self) -> int:
+        return self.config.d_model
+
+
+class TransformerEncoder(Module):
+    """Bidirectional (non-causal) transformer encoder for baseline models."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_layers: int = 2,
+        num_heads: int = 4,
+        d_ff: Optional[int] = None,
+        dropout: float = 0.0,
+        max_position: int = 512,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.d_model = d_model
+        self.position_embedding = Embedding(max_position, d_model, rng=rng)
+        self.blocks = ModuleList(
+            [
+                TransformerBlock(d_model, num_heads, d_ff=d_ff, dropout=dropout, causal=False, rng=rng)
+                for _ in range(num_layers)
+            ]
+        )
+        self.ln_f = LayerNorm(d_model)
+
+    def forward(self, x: Tensor, padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        batch, length, d_model = x.shape
+        positions = np.arange(length)
+        x = x + self.position_embedding(positions).reshape(1, length, d_model)
+        for block in self.blocks:
+            x = block(x, padding_mask=padding_mask)
+        return self.ln_f(x)

@@ -1,0 +1,34 @@
+"""Road-network substrate: segments, directed road graphs and synthetic cities.
+
+The paper (Sec. III) models a city as a directed graph of road segments, each
+carrying a static feature vector (road type, length, lane count, degrees,
+speed limit, ...).  This package provides that representation plus synthetic
+city generators used in place of the OpenStreetMap extracts of the original
+experiments, an OSM-XML import/export bridge for real extracts, and the POI
+and grid spatial elements the paper names as future work.
+"""
+
+from repro.roadnet.segment import RoadSegment, StaticFeatureEncoder
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.generators import grid_city, radial_city, random_city
+from repro.roadnet.io import save_road_network, load_road_network
+from repro.roadnet.osm import load_osm, save_osm, osm_highway_to_road_type
+from repro.roadnet.poi import POI, POI_CATEGORIES, GridPartition, POIRegistry
+
+__all__ = [
+    "RoadSegment",
+    "StaticFeatureEncoder",
+    "RoadNetwork",
+    "grid_city",
+    "radial_city",
+    "random_city",
+    "save_road_network",
+    "load_road_network",
+    "load_osm",
+    "save_osm",
+    "osm_highway_to_road_type",
+    "POI",
+    "POI_CATEGORIES",
+    "POIRegistry",
+    "GridPartition",
+]

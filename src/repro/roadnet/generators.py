@@ -1,0 +1,164 @@
+"""Synthetic road-network generators.
+
+The paper's experiments use OpenStreetMap extracts of Beijing, Xi'an and
+Chengdu.  Offline we generate synthetic cities with comparable structural
+properties: a mix of arterial and residential roads, bidirectional segments,
+and a strongly connected drivable core.  Three layouts are provided:
+
+* :func:`grid_city` — Manhattan-style grid, the workhorse for the presets.
+* :func:`radial_city` — ring-and-spoke layout.
+* :func:`random_city` — random planar-ish layout built from a k-nearest
+  neighbour graph over random intersections.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.segment import ROAD_TYPES, RoadSegment
+
+
+def grid_city(
+    rows: int,
+    cols: int,
+    block_km: float = 0.5,
+    seed: Optional[int] = None,
+) -> RoadNetwork:
+    """A grid of ``rows x cols`` intersections with bidirectional streets.
+
+    Horizontal arterials (every third row) are tagged as primary roads with
+    higher speed limits; everything else is residential.  Each undirected
+    street becomes two directed segments so that the resulting network is
+    strongly connected.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("a grid city needs at least 2x2 intersections")
+    rng = np.random.default_rng(seed)
+    coords = {(r, c): (c * block_km, r * block_km) for r in range(rows) for c in range(cols)}
+
+    segments: List[RoadSegment] = []
+
+    def add_bidirectional(a: Tuple[int, int], b: Tuple[int, int], road_type: str, lanes: int) -> None:
+        for start, end in ((a, b), (b, a)):
+            segments.append(
+                RoadSegment(
+                    segment_id=len(segments),
+                    start=coords[start],
+                    end=coords[end],
+                    road_type=road_type,
+                    lanes=lanes,
+                )
+            )
+
+    for r in range(rows):
+        arterial = r % 3 == 0
+        for c in range(cols - 1):
+            road_type = "primary" if arterial else "residential"
+            lanes = 3 if arterial else rng.integers(1, 3)
+            add_bidirectional((r, c), (r, c + 1), road_type, int(lanes))
+    for c in range(cols):
+        arterial = c % 4 == 0
+        for r in range(rows - 1):
+            road_type = "secondary" if arterial else "residential"
+            lanes = 2 if arterial else 1
+            add_bidirectional((r, c), (r + 1, c), road_type, lanes)
+
+    return RoadNetwork(segments)
+
+
+def radial_city(
+    num_rings: int = 3,
+    spokes: int = 8,
+    ring_spacing_km: float = 1.0,
+    seed: Optional[int] = None,
+) -> RoadNetwork:
+    """Ring-and-spoke city: concentric ring roads connected by radial avenues."""
+    if num_rings < 1 or spokes < 3:
+        raise ValueError("need at least one ring and three spokes")
+    rng = np.random.default_rng(seed)
+    angles = np.linspace(0.0, 2 * np.pi, spokes, endpoint=False)
+    points = {}
+    points[(0, 0)] = (0.0, 0.0)
+    for ring in range(1, num_rings + 1):
+        radius = ring * ring_spacing_km
+        for s, angle in enumerate(angles):
+            points[(ring, s)] = (radius * np.cos(angle), radius * np.sin(angle))
+
+    segments: List[RoadSegment] = []
+
+    def add_bidirectional(a, b, road_type: str, lanes: int) -> None:
+        for start, end in ((a, b), (b, a)):
+            segments.append(
+                RoadSegment(
+                    segment_id=len(segments),
+                    start=points[start],
+                    end=points[end],
+                    road_type=road_type,
+                    lanes=lanes,
+                )
+            )
+
+    # Radial avenues from the centre out.
+    for s in range(spokes):
+        add_bidirectional((0, 0), (1, s), "trunk", 3)
+        for ring in range(1, num_rings):
+            add_bidirectional((ring, s), (ring + 1, s), "primary", 2)
+    # Ring roads.
+    for ring in range(1, num_rings + 1):
+        road_type = "motorway" if ring == num_rings else "secondary"
+        for s in range(spokes):
+            add_bidirectional((ring, s), (ring, (s + 1) % spokes), road_type, 2)
+
+    return RoadNetwork(segments)
+
+
+def random_city(
+    num_intersections: int = 40,
+    k_neighbours: int = 3,
+    extent_km: float = 6.0,
+    seed: Optional[int] = None,
+) -> RoadNetwork:
+    """A random city built by connecting each intersection to its nearest neighbours."""
+    if num_intersections < 4:
+        raise ValueError("need at least four intersections")
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, extent_km, size=(num_intersections, 2))
+    # Snap to a fine lattice so segment endpoints match exactly and the
+    # adjacency builder can connect consecutive segments.
+    points = np.round(points, 4)
+
+    segments: List[RoadSegment] = []
+    seen_edges = set()
+
+    def add_bidirectional(i: int, j: int) -> None:
+        if (i, j) in seen_edges or (j, i) in seen_edges or i == j:
+            return
+        seen_edges.add((i, j))
+        distance = float(np.hypot(*(points[i] - points[j])))
+        road_type = ROAD_TYPES[int(rng.integers(2, len(ROAD_TYPES)))]
+        lanes = int(rng.integers(1, 4))
+        for start, end in ((points[i], points[j]), (points[j], points[i])):
+            segments.append(
+                RoadSegment(
+                    segment_id=len(segments),
+                    start=tuple(start),
+                    end=tuple(end),
+                    road_type=road_type,
+                    lanes=lanes,
+                )
+            )
+
+    for i in range(num_intersections):
+        distances = np.hypot(points[:, 0] - points[i, 0], points[:, 1] - points[i, 1])
+        order = np.argsort(distances)
+        for j in order[1 : k_neighbours + 1]:
+            add_bidirectional(i, int(j))
+    # Add a few long-range connections so the graph is well connected.
+    for _ in range(num_intersections // 4):
+        i, j = rng.integers(0, num_intersections, size=2)
+        add_bidirectional(int(i), int(j))
+
+    return RoadNetwork(segments)

@@ -1,0 +1,28 @@
+"""Persist road networks to disk as JSON."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.roadnet.network import RoadNetwork
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_road_network(network: RoadNetwork, path: PathLike) -> Path:
+    """Write ``network`` to ``path`` as a JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(network.to_dict(), handle)
+    return path
+
+
+def load_road_network(path: PathLike) -> RoadNetwork:
+    """Load a road network previously written by :func:`save_road_network`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return RoadNetwork.from_dict(payload)

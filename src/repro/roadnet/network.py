@@ -1,0 +1,187 @@
+"""The road network: a directed graph over road segments (Definition 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.roadnet.segment import RoadSegment, StaticFeatureEncoder
+
+
+class RoadNetwork:
+    """Directed graph ``G = {R, A, E^(s)}`` whose vertices are road segments.
+
+    Connectivity follows the usual segment-graph convention: segment ``i`` is
+    connected to segment ``j`` when ``i`` ends where ``j`` starts, i.e. a
+    vehicle can continue from ``i`` onto ``j``.
+    """
+
+    def __init__(self, segments: Sequence[RoadSegment], connect_tolerance: float = 1e-6) -> None:
+        if not segments:
+            raise ValueError("a road network needs at least one segment")
+        ids = [s.segment_id for s in segments]
+        if ids != list(range(len(segments))):
+            raise ValueError("segment ids must be contiguous and start at zero")
+        self.segments: List[RoadSegment] = list(segments)
+        self._connect_tolerance = connect_tolerance
+        self._adjacency = self._build_adjacency()
+        self._update_degrees()
+        self._feature_encoder = StaticFeatureEncoder(self.segments)
+        self._static_features = self._feature_encoder.encode_all(self.segments)
+        self._graph = self._build_graph()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_adjacency(self) -> np.ndarray:
+        n = len(self.segments)
+        ends = np.array([s.end for s in self.segments])
+        starts = np.array([s.start for s in self.segments])
+        adjacency = np.zeros((n, n), dtype=np.int8)
+        for i in range(n):
+            distances = np.hypot(starts[:, 0] - ends[i, 0], starts[:, 1] - ends[i, 1])
+            successors = np.where(distances <= self._connect_tolerance)[0]
+            for j in successors:
+                if j != i:
+                    adjacency[i, j] = 1
+        return adjacency
+
+    def _update_degrees(self) -> None:
+        out_degree = self._adjacency.sum(axis=1)
+        in_degree = self._adjacency.sum(axis=0)
+        for segment, ind, outd in zip(self.segments, in_degree, out_degree):
+            segment.in_degree = int(ind)
+            segment.out_degree = int(outd)
+
+    def _build_graph(self) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        for segment in self.segments:
+            graph.add_node(segment.segment_id, length=segment.length)
+        rows, cols = np.nonzero(self._adjacency)
+        for i, j in zip(rows, cols):
+            # Edge weight = free-flow travel time of the destination segment,
+            # so shortest paths approximate fastest routes.
+            graph.add_edge(int(i), int(j), weight=self.segments[j].free_flow_travel_time)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    def __len__(self) -> int:
+        return self.num_segments
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Binary adjacency matrix ``A`` of shape ``(N, N)``."""
+        return self._adjacency
+
+    @property
+    def static_features(self) -> np.ndarray:
+        """Static feature matrix ``E^(s)`` of shape ``(N, D_r)``."""
+        return self._static_features
+
+    @property
+    def static_feature_dim(self) -> int:
+        return self._static_features.shape[1]
+
+    @property
+    def feature_encoder(self) -> StaticFeatureEncoder:
+        return self._feature_encoder
+
+    def segment(self, segment_id: int) -> RoadSegment:
+        return self.segments[segment_id]
+
+    def successors(self, segment_id: int) -> List[int]:
+        """Segments reachable immediately after ``segment_id``."""
+        return [int(j) for j in np.nonzero(self._adjacency[segment_id])[0]]
+
+    def predecessors(self, segment_id: int) -> List[int]:
+        return [int(i) for i in np.nonzero(self._adjacency[:, segment_id])[0]]
+
+    def to_networkx(self) -> nx.DiGraph:
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shortest_path(
+        self,
+        source: int,
+        target: int,
+        weights: Optional[Dict[Tuple[int, int], float]] = None,
+    ) -> List[int]:
+        """Fastest segment sequence from ``source`` to ``target``.
+
+        Parameters
+        ----------
+        source, target:
+            Segment ids.
+        weights:
+            Optional per-edge weight override keyed by ``(i, j)``; used by the
+            mobility simulator to give each synthetic user personal route
+            preferences.
+        """
+        if weights is None:
+            graph = self._graph
+        else:
+            graph = self._graph.copy()
+            for (i, j), value in weights.items():
+                if graph.has_edge(i, j):
+                    graph[i][j]["weight"] = value
+        try:
+            return [int(n) for n in nx.shortest_path(graph, source, target, weight="weight")]
+        except nx.NetworkXNoPath:
+            return []
+
+    def shortest_path_length(self, source: int, target: int) -> float:
+        """Free-flow travel time (seconds) of the fastest route, ``inf`` if unreachable."""
+        try:
+            return float(nx.shortest_path_length(self._graph, source, target, weight="weight"))
+        except nx.NetworkXNoPath:
+            return float("inf")
+
+    def hop_distance(self, source: int, target: int) -> int:
+        """Number of hops of the shortest (unweighted) route, ``-1`` if unreachable."""
+        try:
+            return int(nx.shortest_path_length(self._graph, source, target))
+        except nx.NetworkXNoPath:
+            return -1
+
+    def random_walk(self, start: int, length: int, rng: np.random.Generator) -> List[int]:
+        """A random walk over the segment graph (used by skip-gram style baselines)."""
+        walk = [start]
+        current = start
+        for _ in range(length - 1):
+            successors = self.successors(current)
+            if not successors:
+                break
+            current = int(rng.choice(successors))
+            walk.append(current)
+        return walk
+
+    def is_strongly_connected(self) -> bool:
+        return nx.is_strongly_connected(self._graph)
+
+    def largest_strongly_connected_component(self) -> List[int]:
+        component = max(nx.strongly_connected_components(self._graph), key=len)
+        return sorted(int(n) for n in component)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "connect_tolerance": self._connect_tolerance,
+            "segments": [s.to_dict() for s in self.segments],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RoadNetwork":
+        segments = [RoadSegment.from_dict(item) for item in payload["segments"]]
+        return cls(segments, connect_tolerance=float(payload.get("connect_tolerance", 1e-6)))

@@ -1,0 +1,198 @@
+"""Import and export road networks as OpenStreetMap-style XML.
+
+The paper builds its road networks from OpenStreetMap extracts.  The offline
+environment has no real OSM data, but this module implements the format
+bridge so that a user with an ``.osm`` extract can load it directly into the
+library (and so that the synthetic cities can be exported for inspection in
+standard OSM tooling):
+
+* :func:`load_osm` parses the ``<node>`` / ``<way>`` subset of OSM XML that
+  describes a drivable road network and converts it into a
+  :class:`~repro.roadnet.network.RoadNetwork` (ways are split into one
+  directed segment per consecutive node pair; two-way streets produce the
+  reverse segments as well).
+* :func:`save_osm` writes a road network back out as the same XML subset.
+* :func:`osm_highway_to_road_type` maps OSM ``highway=*`` values onto the
+  road classes used by :class:`~repro.roadnet.segment.RoadSegment`.
+
+Coordinates are converted between WGS84 degrees and the local kilometre
+frame used by the rest of the library with an equirectangular projection
+around the extract's centroid — accurate to well under a percent at city
+scale, which is all the static length feature needs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.segment import DEFAULT_SPEED_LIMITS, RoadSegment
+
+__all__ = ["osm_highway_to_road_type", "load_osm", "save_osm", "EARTH_RADIUS_KM"]
+
+PathLike = Union[str, os.PathLike]
+
+EARTH_RADIUS_KM = 6371.0
+
+#: OSM ``highway=*`` values accepted as drivable roads, mapped onto the road
+#: classes of :data:`repro.roadnet.segment.ROAD_TYPES`.
+_HIGHWAY_MAP: Dict[str, str] = {
+    "motorway": "motorway",
+    "motorway_link": "motorway",
+    "trunk": "trunk",
+    "trunk_link": "trunk",
+    "primary": "primary",
+    "primary_link": "primary",
+    "secondary": "secondary",
+    "secondary_link": "secondary",
+    "tertiary": "secondary",
+    "tertiary_link": "secondary",
+    "unclassified": "residential",
+    "residential": "residential",
+    "living_street": "residential",
+    "service": "residential",
+}
+
+
+def osm_highway_to_road_type(highway: str) -> Optional[str]:
+    """Road class for an OSM ``highway`` value, or ``None`` if not drivable."""
+    return _HIGHWAY_MAP.get(highway)
+
+
+def _project(lat: float, lon: float, origin_lat: float, origin_lon: float) -> Tuple[float, float]:
+    """Equirectangular projection of WGS84 degrees to local kilometres."""
+    x = math.radians(lon - origin_lon) * EARTH_RADIUS_KM * math.cos(math.radians(origin_lat))
+    y = math.radians(lat - origin_lat) * EARTH_RADIUS_KM
+    return (x, y)
+
+
+def _unproject(x: float, y: float, origin_lat: float, origin_lon: float) -> Tuple[float, float]:
+    """Inverse of :func:`_project`; returns ``(lat, lon)``."""
+    lat = origin_lat + math.degrees(y / EARTH_RADIUS_KM)
+    lon = origin_lon + math.degrees(x / (EARTH_RADIUS_KM * math.cos(math.radians(origin_lat))))
+    return (lat, lon)
+
+
+def _parse_speed(value: Optional[str]) -> Optional[float]:
+    """Parse an OSM ``maxspeed`` value (km/h, possibly with an ``mph`` suffix)."""
+    if not value:
+        return None
+    value = value.strip().lower()
+    factor = 1.0
+    if value.endswith("mph"):
+        factor = 1.609344
+        value = value[:-3].strip()
+    try:
+        return float(value) * factor
+    except ValueError:
+        return None
+
+
+def load_osm(path: PathLike) -> RoadNetwork:
+    """Parse an OSM XML extract into a :class:`RoadNetwork`.
+
+    Only ``<way>`` elements whose ``highway`` tag maps onto a drivable road
+    class are used; each consecutive node pair of such a way becomes one
+    directed road segment, plus the reverse segment unless ``oneway=yes``.
+
+    Raises
+    ------
+    ValueError
+        If the document contains no drivable ways or references missing
+        nodes.
+    """
+    tree = ET.parse(Path(path))
+    root = tree.getroot()
+
+    nodes: Dict[str, Tuple[float, float]] = {}
+    for node in root.iter("node"):
+        nodes[node.attrib["id"]] = (float(node.attrib["lat"]), float(node.attrib["lon"]))
+    if not nodes:
+        raise ValueError(f"{path}: no <node> elements found")
+
+    origin_lat = sum(lat for lat, _ in nodes.values()) / len(nodes)
+    origin_lon = sum(lon for _, lon in nodes.values()) / len(nodes)
+    projected = {
+        node_id: _project(lat, lon, origin_lat, origin_lon) for node_id, (lat, lon) in nodes.items()
+    }
+
+    segments: List[RoadSegment] = []
+    for way in root.iter("way"):
+        tags = {tag.attrib["k"]: tag.attrib["v"] for tag in way.findall("tag")}
+        road_type = osm_highway_to_road_type(tags.get("highway", ""))
+        if road_type is None:
+            continue
+        refs = [nd.attrib["ref"] for nd in way.findall("nd")]
+        missing = [ref for ref in refs if ref not in projected]
+        if missing:
+            raise ValueError(f"way {way.attrib.get('id')} references missing nodes {missing[:3]}")
+        if len(refs) < 2:
+            continue
+        lanes = 1
+        if "lanes" in tags:
+            try:
+                lanes = max(1, int(float(tags["lanes"])))
+            except ValueError:
+                lanes = 1
+        speed_limit = _parse_speed(tags.get("maxspeed")) or DEFAULT_SPEED_LIMITS[road_type]
+        oneway = tags.get("oneway", "no").lower() in ("yes", "true", "1")
+        for start_ref, end_ref in zip(refs, refs[1:]):
+            pairs = [(start_ref, end_ref)] if oneway else [(start_ref, end_ref), (end_ref, start_ref)]
+            for a, b in pairs:
+                segments.append(
+                    RoadSegment(
+                        segment_id=len(segments),
+                        start=projected[a],
+                        end=projected[b],
+                        road_type=road_type,
+                        lanes=lanes,
+                        speed_limit=speed_limit,
+                    )
+                )
+    if not segments:
+        raise ValueError(f"{path}: no drivable ways found")
+    return RoadNetwork(segments)
+
+
+def save_osm(network: RoadNetwork, path: PathLike, origin: Tuple[float, float] = (39.9, 116.4)) -> Path:
+    """Write ``network`` as OSM-style XML (one ``<way>`` per directed segment).
+
+    ``origin`` is the WGS84 ``(lat, lon)`` the local kilometre frame is
+    anchored to; the default places synthetic cities near central Beijing so
+    the exported file opens sensibly in OSM viewers.
+    """
+    origin_lat, origin_lon = origin
+    root = ET.Element("osm", version="0.6", generator="repro-bigcity")
+
+    # Deduplicate node coordinates so shared intersections become shared nodes.
+    node_ids: Dict[Tuple[float, float], str] = {}
+
+    def node_for(point: Tuple[float, float]) -> str:
+        key = (round(point[0], 9), round(point[1], 9))
+        if key not in node_ids:
+            node_id = str(len(node_ids) + 1)
+            lat, lon = _unproject(point[0], point[1], origin_lat, origin_lon)
+            ET.SubElement(root, "node", id=node_id, lat=f"{lat:.7f}", lon=f"{lon:.7f}")
+            node_ids[key] = node_id
+        return node_ids[key]
+
+    for segment_id in range(network.num_segments):
+        segment = network.segment(segment_id)
+        start_id = node_for(segment.start)
+        end_id = node_for(segment.end)
+        way = ET.SubElement(root, "way", id=str(segment_id + 1))
+        ET.SubElement(way, "nd", ref=start_id)
+        ET.SubElement(way, "nd", ref=end_id)
+        ET.SubElement(way, "tag", k="highway", v=segment.road_type)
+        ET.SubElement(way, "tag", k="lanes", v=str(segment.lanes))
+        ET.SubElement(way, "tag", k="maxspeed", v=str(int(segment.speed_limit)))
+        ET.SubElement(way, "tag", k="oneway", v="yes")
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ET.ElementTree(root).write(path, encoding="unicode", xml_declaration=True)
+    return path

@@ -1,0 +1,286 @@
+"""Points of interest and grid partitions (the paper's stated future work).
+
+The published BIGCity model "focuses solely on road segments, excluding other
+spatial elements such as POIs and grids" and names their inclusion as future
+work (Sec. IX).  This module implements those two additional spatial element
+types on top of the existing road network substrate so that the library can
+be extended towards that direction:
+
+* :class:`POI` / :class:`POIRegistry` — named points of interest attached to
+  their nearest road segment, with a synthetic generator that places POIs
+  along the network.
+* :class:`GridPartition` — a regular lattice over the network's bounding box
+  that maps segments to grid cells and aggregates per-segment traffic states
+  into per-cell series (the representation used by grid-based traffic models).
+
+Both element types expose ``to_dict`` / ``from_dict`` round-trips so they can
+be persisted next to the road network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.traffic_state import TrafficStateSeries
+from repro.roadnet.network import RoadNetwork
+
+__all__ = ["POI_CATEGORIES", "POI", "POIRegistry", "GridPartition"]
+
+#: Categories used by the synthetic POI generator.
+POI_CATEGORIES: Tuple[str, ...] = (
+    "residence",
+    "office",
+    "shopping",
+    "restaurant",
+    "school",
+    "hospital",
+    "park",
+    "transit",
+)
+
+
+@dataclass
+class POI:
+    """A point of interest anchored on the road network."""
+
+    poi_id: int
+    name: str
+    category: str
+    location: Tuple[float, float]
+    segment_id: int
+
+    def __post_init__(self) -> None:
+        if self.category not in POI_CATEGORIES:
+            raise ValueError(f"unknown POI category {self.category!r}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "poi_id": self.poi_id,
+            "name": self.name,
+            "category": self.category,
+            "location": list(self.location),
+            "segment_id": self.segment_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "POI":
+        return cls(
+            poi_id=int(payload["poi_id"]),
+            name=str(payload["name"]),
+            category=str(payload["category"]),
+            location=(float(payload["location"][0]), float(payload["location"][1])),
+            segment_id=int(payload["segment_id"]),
+        )
+
+
+class POIRegistry:
+    """A collection of POIs indexed by id, category and road segment."""
+
+    def __init__(self, network: RoadNetwork, pois: Optional[Sequence[POI]] = None) -> None:
+        self.network = network
+        self._pois: Dict[int, POI] = {}
+        self._by_segment: Dict[int, List[int]] = {}
+        self._by_category: Dict[str, List[int]] = {}
+        for poi in pois or []:
+            self.add(poi)
+
+    # -- construction -------------------------------------------------------
+    def add(self, poi: POI) -> None:
+        """Register a POI; its id must be unique and its segment must exist."""
+        if poi.poi_id in self._pois:
+            raise ValueError(f"duplicate POI id {poi.poi_id}")
+        if not 0 <= poi.segment_id < self.network.num_segments:
+            raise ValueError(f"POI {poi.poi_id} references unknown segment {poi.segment_id}")
+        self._pois[poi.poi_id] = poi
+        self._by_segment.setdefault(poi.segment_id, []).append(poi.poi_id)
+        self._by_category.setdefault(poi.category, []).append(poi.poi_id)
+
+    @classmethod
+    def generate(
+        cls,
+        network: RoadNetwork,
+        pois_per_segment: float = 0.5,
+        seed: int = 0,
+    ) -> "POIRegistry":
+        """Scatter synthetic POIs along the network.
+
+        Each segment receives a Poisson-distributed number of POIs with mean
+        ``pois_per_segment``; every POI is placed at a random point along the
+        segment and assigned a random category.
+        """
+        if pois_per_segment < 0:
+            raise ValueError("pois_per_segment must be non-negative")
+        rng = np.random.default_rng(seed)
+        registry = cls(network)
+        next_id = 0
+        for segment_id in range(network.num_segments):
+            segment = network.segment(segment_id)
+            count = int(rng.poisson(pois_per_segment))
+            for _ in range(count):
+                fraction = float(rng.uniform(0.1, 0.9))
+                location = (
+                    segment.start[0] + fraction * (segment.end[0] - segment.start[0]),
+                    segment.start[1] + fraction * (segment.end[1] - segment.start[1]),
+                )
+                category = str(rng.choice(POI_CATEGORIES))
+                registry.add(
+                    POI(
+                        poi_id=next_id,
+                        name=f"{category}_{next_id}",
+                        category=category,
+                        location=location,
+                        segment_id=segment_id,
+                    )
+                )
+                next_id += 1
+        return registry
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pois)
+
+    def __iter__(self):
+        return iter(self._pois.values())
+
+    def get(self, poi_id: int) -> POI:
+        if poi_id not in self._pois:
+            raise KeyError(f"unknown POI id {poi_id}")
+        return self._pois[poi_id]
+
+    def on_segment(self, segment_id: int) -> List[POI]:
+        """All POIs anchored on one road segment."""
+        return [self._pois[i] for i in self._by_segment.get(segment_id, [])]
+
+    def by_category(self, category: str) -> List[POI]:
+        """All POIs of one category."""
+        if category not in POI_CATEGORIES:
+            raise ValueError(f"unknown POI category {category!r}")
+        return [self._pois[i] for i in self._by_category.get(category, [])]
+
+    def nearest(self, location: Tuple[float, float], category: Optional[str] = None) -> Optional[POI]:
+        """The POI closest to ``location`` (optionally restricted to a category)."""
+        candidates = list(self.by_category(category)) if category is not None else list(self._pois.values())
+        if not candidates:
+            return None
+        points = np.array([poi.location for poi in candidates])
+        query = np.asarray(location, dtype=np.float64)
+        distances = np.hypot(points[:, 0] - query[0], points[:, 1] - query[1])
+        return candidates[int(np.argmin(distances))]
+
+    def category_counts(self) -> Dict[str, int]:
+        """Number of POIs per category (zero-filled for unused categories)."""
+        return {category: len(self._by_category.get(category, [])) for category in POI_CATEGORIES}
+
+    def segment_category_features(self) -> np.ndarray:
+        """Per-segment POI-category count matrix ``(num_segments, num_categories)``.
+
+        This is the natural static-feature extension the paper's future-work
+        section hints at: road segments augmented with the POI mix around
+        them.
+        """
+        features = np.zeros((self.network.num_segments, len(POI_CATEGORIES)))
+        for poi in self._pois.values():
+            features[poi.segment_id, POI_CATEGORIES.index(poi.category)] += 1.0
+        return features
+
+    # -- persistence ----------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {"pois": [poi.to_dict() for poi in self._pois.values()]}
+
+    @classmethod
+    def from_dict(cls, network: RoadNetwork, payload: Dict) -> "POIRegistry":
+        return cls(network, [POI.from_dict(item) for item in payload.get("pois", [])])
+
+
+class GridPartition:
+    """A regular grid over the road network's bounding box.
+
+    Cells are indexed row-major: cell ``(row, col)`` has flat id
+    ``row * cols + col``.  Rows grow with the y coordinate and columns with
+    the x coordinate.
+    """
+
+    def __init__(self, network: RoadNetwork, rows: int = 4, cols: int = 4, padding: float = 1e-6) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("the grid needs at least one row and one column")
+        self.network = network
+        self.rows = rows
+        self.cols = cols
+        midpoints = np.array([network.segment(i).midpoint for i in range(network.num_segments)])
+        self._min_x = float(midpoints[:, 0].min()) - padding
+        self._max_x = float(midpoints[:, 0].max()) + padding
+        self._min_y = float(midpoints[:, 1].min()) - padding
+        self._max_y = float(midpoints[:, 1].max()) + padding
+        self._segment_cells = np.array(
+            [self.cell_of_point(tuple(point)) for point in midpoints], dtype=np.int64
+        )
+
+    # -- geometry -------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.cols
+
+    def cell_of_point(self, location: Tuple[float, float]) -> int:
+        """Flat cell id containing a point (clamped to the bounding box)."""
+        x = min(max(location[0], self._min_x), self._max_x)
+        y = min(max(location[1], self._min_y), self._max_y)
+        col = int((x - self._min_x) / (self._max_x - self._min_x) * self.cols)
+        row = int((y - self._min_y) / (self._max_y - self._min_y) * self.rows)
+        col = min(col, self.cols - 1)
+        row = min(row, self.rows - 1)
+        return row * self.cols + col
+
+    def cell_of_segment(self, segment_id: int) -> int:
+        """Flat cell id of a segment (by its midpoint)."""
+        if not 0 <= segment_id < self.network.num_segments:
+            raise ValueError(f"unknown segment id {segment_id}")
+        return int(self._segment_cells[segment_id])
+
+    def segments_in_cell(self, cell_id: int) -> List[int]:
+        """All segment ids whose midpoint falls inside the cell."""
+        if not 0 <= cell_id < self.num_cells:
+            raise ValueError(f"cell id {cell_id} outside the {self.rows}x{self.cols} grid")
+        return [int(i) for i in np.nonzero(self._segment_cells == cell_id)[0]]
+
+    def occupancy(self) -> np.ndarray:
+        """Number of segments per cell, shaped ``(rows, cols)``."""
+        counts = np.bincount(self._segment_cells, minlength=self.num_cells)
+        return counts.reshape(self.rows, self.cols)
+
+    # -- aggregation ----------------------------------------------------------
+    def aggregate_traffic(self, traffic: TrafficStateSeries) -> np.ndarray:
+        """Average per-segment traffic states into per-cell series.
+
+        Returns an array of shape ``(num_cells, num_slices, num_channels)``;
+        cells without any segment keep zeros.
+        """
+        if traffic.num_segments != self.network.num_segments:
+            raise ValueError("traffic series and grid cover different road networks")
+        aggregated = np.zeros((self.num_cells, traffic.num_slices, traffic.num_channels))
+        counts = np.zeros(self.num_cells)
+        for segment_id in range(traffic.num_segments):
+            cell = int(self._segment_cells[segment_id])
+            aggregated[cell] += traffic.values[segment_id]
+            counts[cell] += 1.0
+        nonzero = counts > 0
+        aggregated[nonzero] /= counts[nonzero, None, None]
+        return aggregated
+
+    def cell_trajectory(self, segment_ids: Sequence[int]) -> List[int]:
+        """Project a segment-level trajectory onto the grid (dropping repeats)."""
+        cells: List[int] = []
+        for segment_id in segment_ids:
+            cell = self.cell_of_segment(int(segment_id))
+            if not cells or cells[-1] != cell:
+                cells.append(cell)
+        return cells
+
+    def to_dict(self) -> Dict:
+        return {"rows": self.rows, "cols": self.cols}
+
+    @classmethod
+    def from_dict(cls, network: RoadNetwork, payload: Dict) -> "GridPartition":
+        return cls(network, rows=int(payload["rows"]), cols=int(payload["cols"]))

@@ -1,0 +1,144 @@
+"""Road segments and their static feature vectors (Definition 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Road classes used by the synthetic generators, ordered from largest to
+#: smallest.  The index in this tuple is the categorical "road type" feature.
+ROAD_TYPES: Tuple[str, ...] = ("motorway", "trunk", "primary", "secondary", "residential")
+
+#: Default free-flow speed (km/h) per road type.
+DEFAULT_SPEED_LIMITS: Dict[str, float] = {
+    "motorway": 100.0,
+    "trunk": 80.0,
+    "primary": 60.0,
+    "secondary": 50.0,
+    "residential": 30.0,
+}
+
+
+@dataclass
+class RoadSegment:
+    """A directed road segment ``r_i`` with static attributes.
+
+    Attributes mirror Definition 1 of the paper: every segment has an id and
+    a static feature vector describing type, length, lane count, degrees and
+    speed limit.  Geometry (start/end coordinates in kilometres) is kept for
+    the mobility simulator and for map matching.
+    """
+
+    segment_id: int
+    start: Tuple[float, float]
+    end: Tuple[float, float]
+    road_type: str = "residential"
+    lanes: int = 1
+    speed_limit: Optional[float] = None
+    in_degree: int = 0
+    out_degree: int = 0
+
+    def __post_init__(self) -> None:
+        if self.road_type not in ROAD_TYPES:
+            raise ValueError(f"unknown road type {self.road_type!r}")
+        if self.lanes < 1:
+            raise ValueError("a road segment has at least one lane")
+        if self.speed_limit is None:
+            self.speed_limit = DEFAULT_SPEED_LIMITS[self.road_type]
+
+    @property
+    def length(self) -> float:
+        """Segment length in kilometres (Euclidean between endpoints)."""
+        dx = self.end[0] - self.start[0]
+        dy = self.end[1] - self.start[1]
+        return float(np.hypot(dx, dy))
+
+    @property
+    def midpoint(self) -> Tuple[float, float]:
+        return (
+            0.5 * (self.start[0] + self.end[0]),
+            0.5 * (self.start[1] + self.end[1]),
+        )
+
+    @property
+    def free_flow_travel_time(self) -> float:
+        """Seconds needed to traverse the segment at its speed limit."""
+        speed_kmps = self.speed_limit / 3600.0
+        return self.length / max(speed_kmps, 1e-9)
+
+    def road_type_index(self) -> int:
+        return ROAD_TYPES.index(self.road_type)
+
+    def to_dict(self) -> Dict:
+        return {
+            "segment_id": self.segment_id,
+            "start": list(self.start),
+            "end": list(self.end),
+            "road_type": self.road_type,
+            "lanes": self.lanes,
+            "speed_limit": self.speed_limit,
+            "in_degree": self.in_degree,
+            "out_degree": self.out_degree,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RoadSegment":
+        return cls(
+            segment_id=int(payload["segment_id"]),
+            start=tuple(payload["start"]),
+            end=tuple(payload["end"]),
+            road_type=payload["road_type"],
+            lanes=int(payload["lanes"]),
+            speed_limit=float(payload["speed_limit"]),
+            in_degree=int(payload.get("in_degree", 0)),
+            out_degree=int(payload.get("out_degree", 0)),
+        )
+
+
+class StaticFeatureEncoder:
+    """Encode :class:`RoadSegment` objects into static feature vectors ``e^(s)``.
+
+    The feature layout is: one-hot road type, normalised length, lane count,
+    speed limit, in-/out-degree, and the (normalised) midpoint coordinates —
+    the same attribute families listed in Definition 1.
+    """
+
+    def __init__(self, segments: Sequence[RoadSegment]) -> None:
+        if not segments:
+            raise ValueError("cannot build a feature encoder from an empty segment list")
+        self._length_scale = max(max(s.length for s in segments), 1e-9)
+        self._speed_scale = max(max(s.speed_limit for s in segments), 1e-9)
+        self._lane_scale = max(max(s.lanes for s in segments), 1)
+        self._degree_scale = max(max(max(s.in_degree, s.out_degree) for s in segments), 1)
+        xs = [s.midpoint[0] for s in segments]
+        ys = [s.midpoint[1] for s in segments]
+        self._x_range = (min(xs), max(max(xs) - min(xs), 1e-9))
+        self._y_range = (min(ys), max(max(ys) - min(ys), 1e-9))
+
+    @property
+    def dimension(self) -> int:
+        """Length of the static feature vector ``D_r``."""
+        return len(ROAD_TYPES) + 7
+
+    def encode(self, segment: RoadSegment) -> np.ndarray:
+        one_hot = np.zeros(len(ROAD_TYPES))
+        one_hot[segment.road_type_index()] = 1.0
+        mid_x, mid_y = segment.midpoint
+        numeric = np.array(
+            [
+                segment.length / self._length_scale,
+                segment.lanes / self._lane_scale,
+                segment.speed_limit / self._speed_scale,
+                segment.in_degree / self._degree_scale,
+                segment.out_degree / self._degree_scale,
+                (mid_x - self._x_range[0]) / self._x_range[1],
+                (mid_y - self._y_range[0]) / self._y_range[1],
+            ]
+        )
+        return np.concatenate([one_hot, numeric])
+
+    def encode_all(self, segments: Sequence[RoadSegment]) -> np.ndarray:
+        """Return the static feature matrix ``E^(s)`` of shape ``(N, D_r)``."""
+        return np.stack([self.encode(s) for s in segments])

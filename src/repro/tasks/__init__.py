@@ -1,0 +1,45 @@
+"""Evaluation tasks and metrics.
+
+One module per task family of Table I:
+
+* :mod:`repro.tasks.metrics` — every metric used in the paper's tables.
+* :mod:`repro.tasks.next_hop` — trajectory next-hop prediction.
+* :mod:`repro.tasks.travel_time` — travel time estimation (TTE).
+* :mod:`repro.tasks.classification` — trajectory classification
+  (user linkage on XA/CD-like data, binary traffic pattern on BJ-like data).
+* :mod:`repro.tasks.similarity` — most-similar trajectory search.
+* :mod:`repro.tasks.recovery` — trajectory recovery from low-rate inputs.
+* :mod:`repro.tasks.traffic` — traffic-state one-step / multi-step prediction
+  and imputation.
+* :mod:`repro.tasks.decoding` — road-network-constrained decoding helpers
+  shared by BIGCity and the baselines.
+
+Every evaluator is model-agnostic: it accepts plain prediction callables so
+that BIGCity and each baseline are scored by exactly the same code.
+"""
+
+from repro.tasks import metrics
+from repro.tasks.decoding import (
+    constrained_next_hop_ranking,
+    constrained_recovery_choice,
+    gap_candidates,
+)
+from repro.tasks.next_hop import NextHopEvaluator
+from repro.tasks.travel_time import TravelTimeEvaluator
+from repro.tasks.classification import TrajectoryClassificationEvaluator
+from repro.tasks.similarity import SimilaritySearchEvaluator
+from repro.tasks.recovery import TrajectoryRecoveryEvaluator
+from repro.tasks.traffic import TrafficStateEvaluator
+
+__all__ = [
+    "metrics",
+    "constrained_next_hop_ranking",
+    "constrained_recovery_choice",
+    "gap_candidates",
+    "NextHopEvaluator",
+    "TravelTimeEvaluator",
+    "TrajectoryClassificationEvaluator",
+    "SimilaritySearchEvaluator",
+    "TrajectoryRecoveryEvaluator",
+    "TrafficStateEvaluator",
+]

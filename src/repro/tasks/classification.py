@@ -1,0 +1,89 @@
+"""Trajectory classification (Table III, "Trajectory Classification" block).
+
+Two flavours, as in the paper:
+
+* **user linkage** (XA/CD-like datasets): predict which user generated the
+  trajectory; metrics are micro-F1, macro-F1 and macro-recall.  Only users
+  with enough trajectories are kept (the paper keeps users with more than 50
+  trajectories; the synthetic presets scale this threshold down).
+* **binary traffic pattern** (BJ-like dataset): predict whether the trip was
+  congested; metrics are accuracy, F1 and AUC.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import CityDataset
+from repro.data.trajectory import Trajectory
+from repro.tasks import metrics
+
+#: Maps trajectories to predicted class indices.
+PredictFn = Callable[[Sequence[Trajectory]], np.ndarray]
+#: Maps trajectories to class scores (used for AUC in the binary task).
+ScoreFn = Callable[[Sequence[Trajectory]], np.ndarray]
+
+
+class TrajectoryClassificationEvaluator:
+    """Score trajectory classifiers (user linkage or binary pattern)."""
+
+    def __init__(
+        self,
+        dataset: CityDataset,
+        target: str = "user",
+        max_samples: Optional[int] = None,
+        min_user_trajectories: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if target not in ("user", "pattern"):
+            raise ValueError("target must be 'user' or 'pattern'")
+        self.dataset = dataset
+        self.target = target
+        rng = np.random.default_rng(seed)
+        candidates = list(dataset.test_trajectories)
+        if target == "user":
+            counts: Dict[int, int] = {}
+            for trajectory in dataset.trajectories:
+                counts[trajectory.user_id] = counts.get(trajectory.user_id, 0) + 1
+            eligible = {user for user, count in counts.items() if count >= min_user_trajectories}
+            candidates = [t for t in candidates if t.user_id in eligible]
+        else:
+            candidates = [t for t in candidates if t.label is not None]
+        if max_samples is not None and len(candidates) > max_samples:
+            index = rng.choice(len(candidates), size=max_samples, replace=False)
+            candidates = [candidates[i] for i in index]
+        self.trajectories: List[Trajectory] = candidates
+        if target == "user":
+            self.targets = np.array([t.user_id for t in candidates], dtype=np.int64)
+            self.num_classes = max((t.user_id for t in dataset.trajectories), default=0) + 1
+        else:
+            self.targets = np.array([int(t.label) for t in candidates], dtype=np.int64)
+            self.num_classes = 2
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def evaluate(self, predict_fn: PredictFn, score_fn: Optional[ScoreFn] = None) -> Dict[str, float]:
+        predictions = np.asarray(predict_fn(self.trajectories), dtype=np.int64)
+        if predictions.shape != self.targets.shape:
+            raise ValueError("classifier returned the wrong number of predictions")
+        if self.target == "user":
+            return {
+                "micro_f1": metrics.micro_f1(predictions, self.targets, self.num_classes),
+                "macro_f1": metrics.macro_f1(predictions, self.targets, self.num_classes),
+                "macro_recall": metrics.macro_recall(predictions, self.targets, self.num_classes),
+            }
+        report = {
+            "acc": metrics.accuracy(predictions, self.targets),
+            "f1": metrics.binary_f1(predictions, self.targets),
+        }
+        if score_fn is not None:
+            scores = np.asarray(score_fn(self.trajectories), dtype=np.float64)
+            if scores.ndim == 2:
+                scores = scores[:, 1]
+            report["auc"] = metrics.roc_auc(scores, self.targets)
+        else:
+            report["auc"] = metrics.roc_auc(predictions.astype(float), self.targets)
+        return report

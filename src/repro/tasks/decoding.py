@@ -1,0 +1,160 @@
+"""Road-network-constrained decoding utilities.
+
+BIGCity operates in road-network-based scenarios (Sec. III of the paper): a
+trajectory is a path on the road graph, so the next hop of a trajectory must
+be a successor of its last segment, and a segment recovered inside a gap must
+be reachable from the surrounding observed segments.  The map-constrained
+recovery baselines (MTrajRec, RNTrajRec) build this constraint into their
+decoders; these helpers make the same constraint available to every model in
+the repository so that classification-style decoding ranks *feasible*
+candidates first instead of scoring the full segment vocabulary.
+
+All helpers are pure functions over a :class:`~repro.roadnet.network.RoadNetwork`
+and NumPy score vectors, so they can be reused by BIGCity, by the trajectory
+baselines and by the evaluation harness alike.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.roadnet.network import RoadNetwork
+
+__all__ = [
+    "constrained_next_hop_ranking",
+    "forward_hop_distances",
+    "backward_hop_distances",
+    "gap_candidates",
+    "constrained_recovery_choice",
+]
+
+
+def constrained_next_hop_ranking(
+    scores: np.ndarray,
+    last_segment: int,
+    network: RoadNetwork,
+    top_k: int = 5,
+) -> np.ndarray:
+    """Rank next-hop candidates, preferring graph successors of ``last_segment``.
+
+    Parameters
+    ----------
+    scores:
+        A ``(num_segments,)`` score vector (higher is better), e.g. the
+        segment-classification logits of a model.
+    last_segment:
+        The final observed segment of the trajectory prefix.
+    network:
+        The road network that defines which segments are reachable in one hop.
+    top_k:
+        Number of ranked candidates to return.
+
+    Returns
+    -------
+    numpy.ndarray
+        Segment ids ordered best-first.  Successors of ``last_segment`` are
+        ranked (among themselves, by score) ahead of all other segments; if
+        the segment has no successors the ranking falls back to the plain
+        score order.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if scores.shape[0] != network.num_segments:
+        raise ValueError(
+            f"scores has length {scores.shape[0]} but the network has {network.num_segments} segments"
+        )
+    if not 0 <= last_segment < network.num_segments:
+        raise ValueError(f"last_segment {last_segment} is not a valid segment id")
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+
+    order = np.argsort(-scores)
+    successors = network.successors(last_segment)
+    if not successors:
+        return order[:top_k].copy()
+
+    successor_set = set(int(s) for s in successors)
+    preferred = [int(s) for s in order if int(s) in successor_set]
+    remainder = [int(s) for s in order if int(s) not in successor_set]
+    ranking = preferred + remainder
+    return np.asarray(ranking[:top_k], dtype=np.int64)
+
+
+def _bfs_hop_distances(network: RoadNetwork, source: int, reverse: bool, max_hops: Optional[int]) -> Dict[int, int]:
+    """Breadth-first hop distances from ``source`` (or *to* it when ``reverse``)."""
+    if not 0 <= source < network.num_segments:
+        raise ValueError(f"segment {source} is not a valid segment id")
+    neighbours = network.predecessors if reverse else network.successors
+    distances: Dict[int, int] = {int(source): 0}
+    frontier = deque([int(source)])
+    while frontier:
+        current = frontier.popleft()
+        depth = distances[current]
+        if max_hops is not None and depth >= max_hops:
+            continue
+        for neighbour in neighbours(current):
+            neighbour = int(neighbour)
+            if neighbour not in distances:
+                distances[neighbour] = depth + 1
+                frontier.append(neighbour)
+    return distances
+
+
+def forward_hop_distances(network: RoadNetwork, source: int, max_hops: Optional[int] = None) -> Dict[int, int]:
+    """Hop distances from ``source`` to every segment reachable within ``max_hops``."""
+    return _bfs_hop_distances(network, source, reverse=False, max_hops=max_hops)
+
+
+def backward_hop_distances(network: RoadNetwork, target: int, max_hops: Optional[int] = None) -> Dict[int, int]:
+    """Hop distances from every segment that can reach ``target`` within ``max_hops``."""
+    return _bfs_hop_distances(network, target, reverse=True, max_hops=max_hops)
+
+
+def gap_candidates(
+    network: RoadNetwork,
+    previous_segment: int,
+    next_segment: Optional[int],
+    gap_length: int,
+    slack: int = 2,
+) -> Set[int]:
+    """Feasible segments for a masked position between two observed segments.
+
+    A segment is feasible if a path of at most ``gap_length + slack`` hops
+    leads from ``previous_segment`` to it and (when ``next_segment`` is known)
+    from it to ``next_segment``.  This mirrors the map-constrained candidate
+    sets used by trajectory-recovery models on road networks.
+
+    Returns an empty set when no segment satisfies the constraint (callers
+    should then fall back to unconstrained decoding).
+    """
+    if gap_length < 1:
+        raise ValueError("gap_length must be at least 1")
+    budget = gap_length + max(slack, 0)
+    forward = forward_hop_distances(network, previous_segment, max_hops=budget)
+    candidates = {segment for segment, hops in forward.items() if 1 <= hops <= budget}
+    if next_segment is not None:
+        backward = backward_hop_distances(network, next_segment, max_hops=budget)
+        candidates &= {segment for segment, hops in backward.items() if 1 <= hops <= budget}
+    candidates.discard(int(previous_segment))
+    return candidates
+
+
+def constrained_recovery_choice(
+    scores: np.ndarray,
+    candidates: Set[int],
+) -> int:
+    """Pick the highest-scoring segment inside ``candidates``.
+
+    Falls back to the global argmax when the candidate set is empty, so that
+    callers never lose a prediction because the constraint was infeasible.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if not candidates:
+        return int(np.argmax(scores))
+    candidate_list = sorted(int(c) for c in candidates if 0 <= int(c) < scores.shape[0])
+    if not candidate_list:
+        return int(np.argmax(scores))
+    candidate_scores = scores[candidate_list]
+    return int(candidate_list[int(np.argmax(candidate_scores))])

@@ -1,0 +1,186 @@
+"""Evaluation metrics used across the paper's tables.
+
+Regression: MAE, RMSE, MAPE.  Ranking: accuracy, MRR@k, NDCG@k, hit rate@k,
+mean rank.  Classification: accuracy, binary F1, AUC, micro/macro F1, macro
+recall.  All functions accept plain NumPy arrays / sequences and return
+floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# Regression metrics
+# ----------------------------------------------------------------------
+def mae(prediction, target) -> float:
+    """Mean absolute error."""
+    prediction, target = _align(prediction, target)
+    return float(np.mean(np.abs(prediction - target)))
+
+
+def rmse(prediction, target) -> float:
+    """Root mean squared error."""
+    prediction, target = _align(prediction, target)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+def mape(prediction, target, epsilon: float = 1e-6) -> float:
+    """Mean absolute percentage error, in percent (as reported in the paper)."""
+    prediction, target = _align(prediction, target)
+    denominator = np.maximum(np.abs(target), epsilon)
+    return float(np.mean(np.abs(prediction - target) / denominator) * 100.0)
+
+
+def regression_report(prediction, target) -> Dict[str, float]:
+    """MAE / RMSE / MAPE in one dictionary."""
+    return {"mae": mae(prediction, target), "rmse": rmse(prediction, target), "mape": mape(prediction, target)}
+
+
+# ----------------------------------------------------------------------
+# Ranking metrics (next-hop prediction, similarity search)
+# ----------------------------------------------------------------------
+def accuracy(prediction, target) -> float:
+    """Top-1 accuracy for integer predictions."""
+    prediction = np.asarray(prediction)
+    target = np.asarray(target)
+    if prediction.shape != target.shape:
+        raise ValueError("prediction and target must have the same shape")
+    if prediction.size == 0:
+        return 0.0
+    return float(np.mean(prediction == target))
+
+
+def mrr_at_k(rankings: Sequence[Sequence[int]], targets: Sequence[int], k: int = 5) -> float:
+    """Mean reciprocal rank restricted to the top ``k`` candidates."""
+    total = 0.0
+    for ranking, target in zip(rankings, targets):
+        top = list(ranking)[:k]
+        if target in top:
+            total += 1.0 / (top.index(target) + 1)
+    return total / max(len(targets), 1)
+
+
+def ndcg_at_k(rankings: Sequence[Sequence[int]], targets: Sequence[int], k: int = 5) -> float:
+    """Normalised discounted cumulative gain with a single relevant item."""
+    total = 0.0
+    for ranking, target in zip(rankings, targets):
+        top = list(ranking)[:k]
+        if target in top:
+            total += 1.0 / np.log2(top.index(target) + 2)
+    return total / max(len(targets), 1)
+
+
+def hit_rate_at_k(rankings: Sequence[Sequence[int]], targets: Sequence[int], k: int) -> float:
+    """Fraction of queries whose target appears in the top ``k``."""
+    hits = sum(1 for ranking, target in zip(rankings, targets) if target in list(ranking)[:k])
+    return hits / max(len(targets), 1)
+
+
+def mean_rank(rankings: Sequence[Sequence[int]], targets: Sequence[int]) -> float:
+    """Average 1-based rank of the target (missing targets count as ``len+1``)."""
+    total = 0.0
+    for ranking, target in zip(rankings, targets):
+        ranking = list(ranking)
+        total += ranking.index(target) + 1 if target in ranking else len(ranking) + 1
+    return total / max(len(targets), 1)
+
+
+# ----------------------------------------------------------------------
+# Classification metrics
+# ----------------------------------------------------------------------
+def binary_f1(prediction, target) -> float:
+    """F1 score of the positive class for binary labels."""
+    prediction = np.asarray(prediction).astype(int)
+    target = np.asarray(target).astype(int)
+    true_positive = int(np.sum((prediction == 1) & (target == 1)))
+    false_positive = int(np.sum((prediction == 1) & (target == 0)))
+    false_negative = int(np.sum((prediction == 0) & (target == 1)))
+    if true_positive == 0:
+        return 0.0
+    precision = true_positive / (true_positive + false_positive)
+    recall = true_positive / (true_positive + false_negative)
+    return float(2 * precision * recall / (precision + recall))
+
+
+def roc_auc(scores, target) -> float:
+    """Area under the ROC curve from positive-class scores (rank-based estimator)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    target = np.asarray(target).astype(int)
+    positives = scores[target == 1]
+    negatives = scores[target == 0]
+    if len(positives) == 0 or len(negatives) == 0:
+        return 0.5
+    order = np.argsort(np.concatenate([negatives, positives]), kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, len(order) + 1)
+    # Average ranks of ties.
+    all_scores = np.concatenate([negatives, positives])
+    for value in np.unique(all_scores):
+        mask = all_scores == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    positive_ranks = ranks[len(negatives):]
+    auc = (positive_ranks.sum() - len(positives) * (len(positives) + 1) / 2) / (len(positives) * len(negatives))
+    return float(auc)
+
+
+def _per_class_counts(prediction, target, num_classes: int):
+    prediction = np.asarray(prediction).astype(int)
+    target = np.asarray(target).astype(int)
+    tp = np.zeros(num_classes)
+    fp = np.zeros(num_classes)
+    fn = np.zeros(num_classes)
+    for klass in range(num_classes):
+        tp[klass] = np.sum((prediction == klass) & (target == klass))
+        fp[klass] = np.sum((prediction == klass) & (target != klass))
+        fn[klass] = np.sum((prediction != klass) & (target == klass))
+    return tp, fp, fn
+
+
+def micro_f1(prediction, target, num_classes: int) -> float:
+    """Micro-averaged F1 (equals accuracy for single-label problems)."""
+    tp, fp, fn = _per_class_counts(prediction, target, num_classes)
+    tp_sum, fp_sum, fn_sum = tp.sum(), fp.sum(), fn.sum()
+    if tp_sum == 0:
+        return 0.0
+    precision = tp_sum / (tp_sum + fp_sum)
+    recall = tp_sum / (tp_sum + fn_sum)
+    return float(2 * precision * recall / max(precision + recall, 1e-12))
+
+
+def macro_f1(prediction, target, num_classes: int) -> float:
+    """Macro-averaged F1 over classes that appear in the targets."""
+    tp, fp, fn = _per_class_counts(prediction, target, num_classes)
+    target = np.asarray(target).astype(int)
+    present = np.unique(target)
+    scores = []
+    for klass in present:
+        precision = tp[klass] / max(tp[klass] + fp[klass], 1e-12)
+        recall = tp[klass] / max(tp[klass] + fn[klass], 1e-12)
+        if precision + recall == 0:
+            scores.append(0.0)
+        else:
+            scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores)) if scores else 0.0
+
+
+def macro_recall(prediction, target, num_classes: int) -> float:
+    """Macro-averaged recall over classes that appear in the targets."""
+    tp, _, fn = _per_class_counts(prediction, target, num_classes)
+    target = np.asarray(target).astype(int)
+    present = np.unique(target)
+    recalls = [tp[klass] / max(tp[klass] + fn[klass], 1e-12) for klass in present]
+    return float(np.mean(recalls)) if recalls else 0.0
+
+
+# ----------------------------------------------------------------------
+def _align(prediction, target):
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+    return prediction, target

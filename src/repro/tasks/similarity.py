@@ -1,0 +1,130 @@
+"""Most-similar trajectory search (Table III "Most Similar Search", Fig. 6b/c).
+
+Protocol (following the detour/variant protocol of JGRM/START that the paper
+adopts): every test trajectory is split into two down-sampled variants — the
+query keeps the odd-indexed samples, the database entry keeps the
+even-indexed samples.  The database additionally contains the variants of
+every other trajectory as distractors.  A search method ranks database
+entries for each query; the matching variant of the same trajectory is the
+single relevant item.
+
+Two method families are supported:
+
+* **embedding methods** (BIGCity, the representation-learning baselines):
+  an ``embed_fn`` maps trajectories to vectors; ranking is by cosine
+  similarity.
+* **distance methods** (DTW, LCSS, Fréchet, EDR): a ``distance_fn`` scores a
+  (query, candidate) pair directly; ranking is by ascending distance.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import CityDataset
+from repro.data.trajectory import Trajectory
+from repro.nn.functional import pairwise_cosine_similarity
+from repro.tasks import metrics
+
+EmbedFn = Callable[[Sequence[Trajectory]], np.ndarray]
+DistanceFn = Callable[[Trajectory, Trajectory], float]
+
+
+def _variant(trajectory: Trajectory, parity: int) -> Trajectory:
+    """Down-sampled variant keeping samples with index ``parity`` mod 2 (endpoints always kept)."""
+    keep = [i for i in range(len(trajectory)) if i % 2 == parity]
+    if 0 not in keep:
+        keep = [0] + keep
+    if len(trajectory) - 1 not in keep:
+        keep = keep + [len(trajectory) - 1]
+    keep = sorted(set(keep))
+    if len(keep) < 2:
+        keep = [0, len(trajectory) - 1]
+    return Trajectory(
+        trajectory_id=trajectory.trajectory_id,
+        user_id=trajectory.user_id,
+        segments=[trajectory.segments[i] for i in keep],
+        timestamps=[trajectory.timestamps[i] for i in keep],
+        label=trajectory.label,
+    )
+
+
+class SimilaritySearchEvaluator:
+    """Build the query/database protocol and score search methods."""
+
+    def __init__(
+        self,
+        dataset: CityDataset,
+        num_queries: Optional[int] = None,
+        min_length: int = 5,
+        seed: int = 0,
+        extra_database: Optional[Sequence[Trajectory]] = None,
+    ) -> None:
+        self.dataset = dataset
+        rng = np.random.default_rng(seed)
+        candidates = [t for t in dataset.test_trajectories if len(t) >= min_length]
+        if num_queries is not None and len(candidates) > num_queries:
+            index = rng.choice(len(candidates), size=num_queries, replace=False)
+            candidates = [candidates[i] for i in index]
+        self.queries: List[Trajectory] = [_variant(t, parity=1) for t in candidates]
+        self.database: List[Trajectory] = [_variant(t, parity=0) for t in candidates]
+        #: index into ``database`` of the relevant item for each query.
+        self.ground_truth: List[int] = list(range(len(candidates)))
+        if extra_database:
+            self.database.extend(_variant(t, parity=0) for t in extra_database if len(t) >= min_length)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def database_size(self) -> int:
+        return len(self.database)
+
+    # ------------------------------------------------------------------
+    def rankings_from_embeddings(self, embed_fn: EmbedFn) -> Tuple[List[np.ndarray], float]:
+        """Rank database items for every query via cosine similarity.
+
+        Returns the rankings and the wall-clock search time in seconds
+        (embedding + ranking), which feeds the Fig. 6b scalability plot.
+        """
+        start = time.perf_counter()
+        query_embeddings = embed_fn(self.queries)
+        database_embeddings = embed_fn(self.database)
+        similarity = pairwise_cosine_similarity(query_embeddings, database_embeddings)
+        rankings = [np.argsort(-similarity[i]) for i in range(similarity.shape[0])]
+        elapsed = time.perf_counter() - start
+        return rankings, elapsed
+
+    def rankings_from_distance(self, distance_fn: DistanceFn) -> Tuple[List[np.ndarray], float]:
+        """Rank database items for every query via a pairwise distance function."""
+        start = time.perf_counter()
+        rankings = []
+        for query in self.queries:
+            distances = np.array([distance_fn(query, candidate) for candidate in self.database])
+            rankings.append(np.argsort(distances))
+        elapsed = time.perf_counter() - start
+        return rankings, elapsed
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        embed_fn: Optional[EmbedFn] = None,
+        distance_fn: Optional[DistanceFn] = None,
+    ) -> Dict[str, float]:
+        """Score a search method (exactly one of ``embed_fn`` / ``distance_fn``)."""
+        if (embed_fn is None) == (distance_fn is None):
+            raise ValueError("provide exactly one of embed_fn or distance_fn")
+        if embed_fn is not None:
+            rankings, elapsed = self.rankings_from_embeddings(embed_fn)
+        else:
+            rankings, elapsed = self.rankings_from_distance(distance_fn)
+        return {
+            "hr@1": metrics.hit_rate_at_k(rankings, self.ground_truth, k=1),
+            "hr@5": metrics.hit_rate_at_k(rankings, self.ground_truth, k=5),
+            "hr@10": metrics.hit_rate_at_k(rankings, self.ground_truth, k=10),
+            "mean_rank": metrics.mean_rank(rankings, self.ground_truth),
+            "search_time_s": elapsed,
+        }

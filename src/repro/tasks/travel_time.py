@@ -1,0 +1,49 @@
+"""Travel time estimation (Table III, "Travel Time Estimation" block).
+
+Timestamps of the input trajectory are hidden and the model regresses the
+per-step intervals; the reported quantity is the total travel time of the
+trip.  Metrics: MAE and RMSE in minutes, MAPE in percent (matching the
+magnitude of the paper's numbers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import CityDataset
+from repro.data.trajectory import Trajectory
+from repro.tasks import metrics
+
+#: Maps trajectories to predicted total travel times in **seconds**.
+TravelTimeFn = Callable[[Sequence[Trajectory]], np.ndarray]
+
+
+class TravelTimeEvaluator:
+    """Score travel-time estimators on the test split of a dataset."""
+
+    def __init__(self, dataset: CityDataset, max_samples: Optional[int] = None, seed: int = 0) -> None:
+        self.dataset = dataset
+        rng = np.random.default_rng(seed)
+        candidates = [t for t in dataset.test_trajectories if len(t) >= 2]
+        if max_samples is not None and len(candidates) > max_samples:
+            index = rng.choice(len(candidates), size=max_samples, replace=False)
+            candidates = [candidates[i] for i in index]
+        self.trajectories: List[Trajectory] = candidates
+        self.targets_seconds = np.array([t.duration for t in candidates])
+
+    def __len__(self) -> int:
+        return len(self.trajectories)
+
+    def evaluate(self, predict_fn: TravelTimeFn) -> Dict[str, float]:
+        predictions_seconds = np.asarray(predict_fn(self.trajectories), dtype=np.float64)
+        if predictions_seconds.shape != self.targets_seconds.shape:
+            raise ValueError("travel-time predictor returned the wrong number of results")
+        predictions_minutes = predictions_seconds / 60.0
+        targets_minutes = self.targets_seconds / 60.0
+        return {
+            "mae": metrics.mae(predictions_minutes, targets_minutes),
+            "rmse": metrics.rmse(predictions_minutes, targets_minutes),
+            "mape": metrics.mape(predictions_minutes, targets_minutes),
+        }

@@ -1,0 +1,95 @@
+"""Shared fixtures: tiny road networks, datasets and models.
+
+Heavy objects (datasets, trained models) are session-scoped so the whole
+suite builds them once; they are intentionally tiny so the entire test run
+stays in the minutes range on a CPU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BIGCityConfig
+from repro.core.model import BIGCity
+from repro.core.training import MaskedReconstructionTrainer, PromptTuningTrainer, TrainingConfig
+from repro.data.datasets import CityDataset, make_splits
+from repro.data.synthetic import SyntheticCity, SyntheticCityConfig
+from repro.roadnet.generators import grid_city
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_network():
+    """A small but non-trivial grid road network (strongly connected)."""
+    return grid_city(rows=4, cols=4, block_km=0.5, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_network) -> CityDataset:
+    """A miniature city dataset with trajectories and traffic states."""
+    config = SyntheticCityConfig(
+        num_users=8,
+        trajectories_per_user=6,
+        num_days=1,
+        min_route_hops=4,
+        max_route_hops=12,
+        seed=0,
+    )
+    city = SyntheticCity(tiny_network, config)
+    trajectories, traffic = city.simulate()
+    splits = make_splits(len(trajectories), (0.6, 0.2, 0.2), seed=0)
+    return CityDataset(
+        name="tiny",
+        network=tiny_network,
+        trajectories=trajectories,
+        traffic_states=traffic,
+        splits=splits,
+        time_axis=city.time_axis,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset_no_traffic(tiny_dataset) -> CityDataset:
+    """The same dataset but without dynamic features (BJ-like situation)."""
+    return CityDataset(
+        name="tiny_no_traffic",
+        network=tiny_dataset.network,
+        trajectories=tiny_dataset.trajectories,
+        traffic_states=None,
+        splits=tiny_dataset.splits,
+        time_axis=tiny_dataset.time_axis,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> BIGCityConfig:
+    return BIGCityConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def untrained_model(tiny_dataset, tiny_config) -> BIGCity:
+    """A freshly initialised BIGCity model (no training)."""
+    return BIGCity.from_dataset(tiny_dataset, config=tiny_config)
+
+
+@pytest.fixture(scope="session")
+def trained_model(tiny_dataset, tiny_config) -> BIGCity:
+    """A BIGCity model after one very short pass of both training stages."""
+    model = BIGCity.from_dataset(tiny_dataset, config=tiny_config)
+    training = TrainingConfig(
+        stage1_epochs=1,
+        stage2_epochs=1,
+        batch_size=8,
+        max_trajectories=16,
+        traffic_sequences_per_epoch=4,
+        seed=0,
+    )
+    MaskedReconstructionTrainer(model, tiny_dataset, training).train()
+    PromptTuningTrainer(model, tiny_dataset, training).train()
+    model.eval()
+    return model

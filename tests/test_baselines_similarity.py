@@ -1,0 +1,113 @@
+"""Tests for the classical trajectory-similarity measures (`repro.baselines.similarity`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.similarity import (
+    CLASSICAL_SIMILARITY_MEASURES,
+    ClassicalSimilarity,
+    dtw_distance,
+    edr_distance,
+    frechet_distance,
+    lcss_distance,
+)
+from repro.data.trajectory import Trajectory
+from repro.roadnet.generators import grid_city
+
+
+def _curve(seed: int, length: int = 8) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(scale=0.3, size=(length, 2)), axis=0)
+
+
+curves = st.integers(min_value=0, max_value=500)
+
+
+class TestDistanceAxioms:
+    @pytest.mark.parametrize("name", sorted(CLASSICAL_SIMILARITY_MEASURES))
+    def test_self_distance_is_minimal(self, name):
+        measure = CLASSICAL_SIMILARITY_MEASURES[name]
+        curve = _curve(0)
+        assert measure(curve, curve) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(CLASSICAL_SIMILARITY_MEASURES))
+    def test_non_negative(self, name):
+        measure = CLASSICAL_SIMILARITY_MEASURES[name]
+        assert measure(_curve(1), _curve(2)) >= 0.0
+
+    @given(seed_a=curves, seed_b=curves)
+    @settings(max_examples=20, deadline=None)
+    def test_dtw_and_frechet_symmetry(self, seed_a, seed_b):
+        a, b = _curve(seed_a), _curve(seed_b)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+        assert frechet_distance(a, b) == pytest.approx(frechet_distance(b, a))
+
+    def test_dtw_detects_displacement(self):
+        base = _curve(3)
+        shifted = base + np.array([5.0, 0.0])
+        assert dtw_distance(base, shifted) > dtw_distance(base, base + 0.01)
+
+    def test_frechet_is_at_least_endpoint_gap(self):
+        a = _curve(4)
+        b = a.copy()
+        b[-1] += np.array([2.0, 0.0])
+        assert frechet_distance(a, b) >= 2.0 - 1e-9
+
+
+class TestThresholdMeasures:
+    def test_lcss_identical_is_zero_and_disjoint_is_one(self):
+        curve = _curve(5)
+        far = curve + 100.0
+        assert lcss_distance(curve, curve) == pytest.approx(0.0)
+        assert lcss_distance(curve, far) == pytest.approx(1.0)
+
+    def test_edr_bounded_by_longest_length(self):
+        a, b = _curve(6, length=6), _curve(7, length=10)
+        value = edr_distance(a, b)
+        assert 0.0 <= value <= 1.0 or value <= max(len(a), len(b))
+
+    @given(seed_a=curves, seed_b=curves)
+    @settings(max_examples=20, deadline=None)
+    def test_lcss_stays_in_unit_interval(self, seed_a, seed_b):
+        value = lcss_distance(_curve(seed_a), _curve(seed_b))
+        assert 0.0 <= value <= 1.0
+
+
+class TestClassicalSimilarityWrapper:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return grid_city(rows=3, cols=3, block_km=0.5, seed=0)
+
+    @pytest.fixture(scope="class")
+    def trajectories(self, network):
+        rng = np.random.default_rng(1)
+        result = []
+        for index in range(3):
+            segments = network.random_walk(index, length=6, rng=rng)
+            timestamps = [float(60 * i) for i in range(len(segments))]
+            result.append(Trajectory(trajectory_id=index, user_id=0, segments=segments, timestamps=timestamps))
+        return result
+
+    def test_known_methods_build(self, network):
+        for name in CLASSICAL_SIMILARITY_MEASURES:
+            ClassicalSimilarity(network, method=name)
+
+    def test_unknown_method_raises(self, network):
+        with pytest.raises((KeyError, ValueError)):
+            ClassicalSimilarity(network, method="cosine")
+
+    def test_self_similarity_is_best(self, network, trajectories):
+        measure = ClassicalSimilarity(network, method="dtw")
+        query = trajectories[0]
+        self_distance = measure(query, query)
+        other_distances = [measure(query, other) for other in trajectories[1:]]
+        assert all(self_distance <= d + 1e-9 for d in other_distances)
+
+    def test_coordinates_shape(self, network, trajectories):
+        measure = ClassicalSimilarity(network, method="lcss")
+        coords = measure.coordinates(trajectories[0])
+        assert coords.shape == (len(trajectories[0]), 2)

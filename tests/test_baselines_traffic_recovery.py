@@ -1,0 +1,169 @@
+"""Tests for the traffic-state and trajectory-recovery baselines and classical similarity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.recovery import (
+    DTHRHMMRecovery,
+    LinearHMMRecovery,
+    MTrajRec,
+    RECOVERY_BASELINES,
+    RNTrajRec,
+    build_recovery_baseline,
+)
+from repro.baselines.similarity import (
+    CLASSICAL_SIMILARITY_MEASURES,
+    ClassicalSimilarity,
+    dtw_distance,
+    edr_distance,
+    frechet_distance,
+    lcss_distance,
+)
+from repro.baselines.traffic import TRAFFIC_BASELINES, build_traffic_baseline
+from repro.data.trajectory import subsample_trajectory
+
+
+class TestTrafficBaselines:
+    def test_all_seven_registered(self):
+        assert set(TRAFFIC_BASELINES) == {"dcrnn", "gwnet", "mtgnn", "trgnn", "stgode", "stnorm", "sstban"}
+
+    def test_unknown_name_rejected(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            build_traffic_baseline("stgcn", tiny_dataset)
+
+    def test_requires_traffic_states(self, tiny_dataset_no_traffic):
+        with pytest.raises(ValueError):
+            build_traffic_baseline("dcrnn", tiny_dataset_no_traffic)
+
+    @pytest.mark.parametrize("name", sorted(TRAFFIC_BASELINES))
+    def test_fit_and_predict_shapes(self, tiny_dataset, name):
+        model = build_traffic_baseline(name, tiny_dataset, history=4, horizon=3, hidden_dim=12, seed=0)
+        history = model.fit(num_windows=6, epochs=1, batch_size=3)
+        assert len(history) == 1 and np.isfinite(history[0])
+        prediction = model.predict(segment_id=2, start_slice=5, history=4, horizon=3)
+        assert prediction.shape == (3, tiny_dataset.traffic_states.num_channels)
+        assert np.all(np.isfinite(prediction))
+
+    def test_training_reduces_forecast_loss(self, tiny_dataset):
+        model = build_traffic_baseline("gwnet", tiny_dataset, history=4, horizon=2, hidden_dim=12, seed=0)
+        history = model.fit(num_windows=12, epochs=4, batch_size=4)
+        assert history[-1] < history[0]
+
+    def test_history_mismatch_rejected(self, tiny_dataset):
+        model = build_traffic_baseline("stnorm", tiny_dataset, history=4, horizon=2, hidden_dim=12, seed=0)
+        with pytest.raises(ValueError):
+            model.predict(0, 0, history=6, horizon=2)
+
+    def test_imputation_roundtrip(self, tiny_dataset):
+        model = build_traffic_baseline("dcrnn", tiny_dataset, history=4, horizon=2, hidden_dim=12, seed=0)
+        model.fit_imputation(num_windows=6, epochs=1, batch_size=3)
+        imputed = model.impute(1, 2, 8, [1, 6], traffic_override=None)
+        assert imputed.shape == (2, tiny_dataset.traffic_states.num_channels)
+        assert np.all(np.isfinite(imputed))
+
+    def test_trgnn_uses_trajectory_transitions(self, tiny_dataset):
+        model = build_traffic_baseline("trgnn", tiny_dataset, history=4, horizon=2, hidden_dim=12, seed=0)
+        transitions = model._transition
+        assert transitions.shape == (tiny_dataset.num_segments, tiny_dataset.num_segments)
+        assert np.allclose(transitions.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_predictions_denormalised_to_physical_range(self, tiny_dataset):
+        model = build_traffic_baseline("stgode", tiny_dataset, history=4, horizon=2, hidden_dim=12, seed=0)
+        model.fit(num_windows=8, epochs=2, batch_size=4)
+        prediction = model.predict(0, 5, 4, 2)
+        speed = prediction[:, 0]
+        assert np.all(speed > -50) and np.all(speed < 200)
+
+
+class TestRecoveryBaselines:
+    def test_all_four_registered(self):
+        assert set(RECOVERY_BASELINES) == {"linear_hmm", "dthr_hmm", "mtrajrec", "rntrajrec"}
+
+    def _case(self, dataset, rng):
+        trajectory = max(dataset.test_trajectories, key=len)
+        _, kept = subsample_trajectory(trajectory, keep_ratio=0.3, rng=rng)
+        missing = np.setdiff1d(np.arange(len(trajectory)), kept)
+        return trajectory, kept, missing
+
+    @pytest.mark.parametrize("name", ["linear_hmm", "dthr_hmm"])
+    def test_rule_based_recovery_output(self, tiny_dataset, rng, name):
+        baseline = build_recovery_baseline(name, tiny_dataset)
+        baseline.fit()
+        trajectory, kept, missing = self._case(tiny_dataset, rng)
+        recovered = baseline.recover(trajectory, kept)
+        assert recovered.shape == (len(missing),)
+        assert np.all((recovered >= 0) & (recovered < tiny_dataset.num_segments))
+
+    @pytest.mark.parametrize("name", ["mtrajrec", "rntrajrec"])
+    def test_learned_recovery_trains_and_predicts(self, tiny_dataset, rng, name):
+        baseline = build_recovery_baseline(name, tiny_dataset, seed=0)
+        history = baseline.fit(epochs=1, max_samples=15)
+        assert history and np.isfinite(history[0])
+        trajectory, kept, missing = self._case(tiny_dataset, rng)
+        recovered = baseline.recover(trajectory, kept)
+        assert recovered.shape == (len(missing),)
+
+    def test_rule_based_beats_nothing_on_endpoint_heavy_masks(self, tiny_dataset, rng):
+        """DTHR interpolation follows the road graph, so it recovers *some* segments."""
+        baseline = DTHRHMMRecovery(tiny_dataset)
+        hits = 0
+        total = 0
+        for trajectory in [t for t in tiny_dataset.trajectories if len(t) >= 6][:5]:
+            _, kept = subsample_trajectory(trajectory, keep_ratio=0.3, rng=rng)
+            missing = np.setdiff1d(np.arange(len(trajectory)), kept)
+            recovered = baseline.recover(trajectory, kept)
+            hits += sum(int(r == trajectory.segments[i]) for r, i in zip(recovered, missing))
+            total += len(missing)
+        assert total > 0
+        assert hits / total > 0.05
+
+    def test_unknown_recovery_name(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            build_recovery_baseline("kalman", tiny_dataset)
+
+
+class TestClassicalSimilarity:
+    def _coords(self, *points):
+        return np.asarray(points, dtype=np.float64)
+
+    def test_dtw_identical_is_zero(self):
+        a = self._coords((0, 0), (1, 0), (2, 0))
+        assert dtw_distance(a, a) == 0.0
+
+    def test_dtw_increases_with_offset(self):
+        a = self._coords((0, 0), (1, 0), (2, 0))
+        b = self._coords((0, 1), (1, 1), (2, 1))
+        c = self._coords((0, 3), (1, 3), (2, 3))
+        assert dtw_distance(a, b) < dtw_distance(a, c)
+
+    def test_lcss_bounds(self):
+        a = self._coords((0, 0), (1, 0))
+        b = self._coords((5, 5), (6, 5))
+        assert lcss_distance(a, a) == 0.0
+        assert lcss_distance(a, b) == 1.0
+
+    def test_frechet_is_max_of_pointwise_for_aligned(self):
+        a = self._coords((0, 0), (1, 0))
+        b = self._coords((0, 1), (1, 2))
+        assert frechet_distance(a, b) == pytest.approx(2.0)
+
+    def test_edr_identical_and_disjoint(self):
+        a = self._coords((0, 0), (1, 0), (2, 0))
+        b = self._coords((9, 9), (10, 9), (11, 9))
+        assert edr_distance(a, a) == 0.0
+        assert edr_distance(a, b) == 1.0
+
+    def test_all_measures_registered(self):
+        assert set(CLASSICAL_SIMILARITY_MEASURES) == {"dtw", "lcss", "frechet", "edr"}
+
+    def test_adapter_on_trajectories(self, tiny_dataset):
+        adapter = ClassicalSimilarity(tiny_dataset.network, "dtw")
+        a, b = tiny_dataset.trajectories[:2]
+        assert adapter(a, a) == pytest.approx(0.0)
+        assert adapter(a, b) >= 0.0
+
+    def test_adapter_unknown_method(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            ClassicalSimilarity(tiny_dataset.network, "hausdorff")

@@ -1,0 +1,121 @@
+"""Tests for the trajectory representation baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.trajectory import (
+    JCLRNT,
+    JGRM,
+    START,
+    T2Vec,
+    TRAJECTORY_BASELINES,
+    Toast,
+    Trajectory2Vec,
+    TremBR,
+    build_trajectory_baseline,
+)
+
+
+@pytest.fixture(scope="module", params=["traj2vec", "toast", "jgrm"])
+def fitted_baseline(request, tiny_dataset):
+    """A small fitted baseline of each architectural family (GRU / transformer / dual-view)."""
+    baseline = build_trajectory_baseline(request.param, tiny_dataset, hidden_dim=16, seed=0)
+    baseline.pretrain(epochs=1)
+    baseline.fit_next_hop(epochs=1)
+    baseline.fit_travel_time(epochs=1)
+    baseline.fit_classifier("user", epochs=1)
+    return baseline
+
+
+class TestRegistry:
+    def test_all_seven_baselines_registered(self):
+        assert set(TRAJECTORY_BASELINES) == {
+            "traj2vec",
+            "t2vec",
+            "trembr",
+            "toast",
+            "jclrnt",
+            "start",
+            "jgrm",
+        }
+
+    def test_unknown_name_rejected(self, tiny_dataset):
+        with pytest.raises(KeyError):
+            build_trajectory_baseline("bert4traj", tiny_dataset)
+
+    def test_builder_returns_correct_class(self, tiny_dataset):
+        assert isinstance(build_trajectory_baseline("start", tiny_dataset, hidden_dim=16), START)
+        assert isinstance(build_trajectory_baseline("trembr", tiny_dataset, hidden_dim=16), TremBR)
+
+
+class TestPretraining:
+    @pytest.mark.parametrize("name", ["traj2vec", "t2vec", "trembr", "jclrnt", "start"])
+    def test_pretraining_loss_is_finite_and_decreases(self, tiny_dataset, name):
+        baseline = build_trajectory_baseline(name, tiny_dataset, hidden_dim=16, seed=0)
+        history = baseline.pretrain(epochs=2, batch_size=16)
+        assert len(history) == 2
+        assert all(np.isfinite(history))
+        assert history[1] <= history[0] * 1.2  # allow small noise, forbid divergence
+
+    def test_toast_skipgram_warm_start_changes_embeddings(self, tiny_dataset):
+        baseline = Toast(tiny_dataset, hidden_dim=16, seed=0)
+        before = baseline.segment_embedding.weight.data.copy()
+        baseline._skipgram_pretrain(num_walks=10, walk_length=5)
+        assert not np.allclose(before, baseline.segment_embedding.weight.data)
+
+    def test_jgrm_uses_coordinate_view(self, tiny_dataset):
+        baseline = JGRM(tiny_dataset, hidden_dim=16, seed=0)
+        _, pooled, _ = baseline.encode(tiny_dataset.trajectories[:2])
+        assert pooled.shape == (2, 16)
+
+
+class TestTaskHeads:
+    def test_predict_before_fit_raises(self, tiny_dataset):
+        baseline = Trajectory2Vec(tiny_dataset, hidden_dim=16, seed=0)
+        with pytest.raises(RuntimeError):
+            baseline.predict_next_hop(tiny_dataset.trajectories[:2])
+        with pytest.raises(RuntimeError):
+            baseline.predict_travel_time(tiny_dataset.trajectories[:2])
+        with pytest.raises(RuntimeError):
+            baseline.predict_class(tiny_dataset.trajectories[:2])
+
+    def test_next_hop_rankings_are_valid_segments(self, fitted_baseline, tiny_dataset):
+        trajectories = [t for t in tiny_dataset.test_trajectories if len(t) >= 3][:4]
+        rankings = fitted_baseline.predict_next_hop(trajectories, top_k=5)
+        assert len(rankings) == 4
+        for ranking in rankings:
+            assert all(0 <= s < tiny_dataset.num_segments for s in ranking)
+
+    def test_travel_time_predictions_nonnegative(self, fitted_baseline, tiny_dataset):
+        predictions = fitted_baseline.predict_travel_time(tiny_dataset.test_trajectories[:4])
+        assert predictions.shape == (4,)
+        assert np.all(predictions >= 0)
+
+    def test_classifier_predictions_in_range(self, fitted_baseline, tiny_dataset):
+        predictions = fitted_baseline.predict_class(tiny_dataset.test_trajectories[:4])
+        assert np.all((0 <= predictions) & (predictions < fitted_baseline.num_users))
+
+    def test_class_scores_are_distributions(self, fitted_baseline, tiny_dataset):
+        scores = fitted_baseline.class_scores(tiny_dataset.test_trajectories[:3])
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_embeddings_shape_and_determinism(self, fitted_baseline, tiny_dataset):
+        trajectories = tiny_dataset.test_trajectories[:5]
+        a = fitted_baseline.embed(trajectories)
+        b = fitted_baseline.embed(trajectories)
+        assert a.shape == (5, fitted_baseline.hidden_dim)
+        assert np.allclose(a, b)
+
+    def test_binary_classifier_for_pattern_target(self, tiny_dataset):
+        baseline = Trajectory2Vec(tiny_dataset, hidden_dim=16, seed=0)
+        baseline.fit_classifier("pattern", epochs=1)
+        predictions = baseline.predict_class(tiny_dataset.test_trajectories[:4])
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    def test_next_hop_augmentation_increases_samples(self, tiny_dataset):
+        baseline = Trajectory2Vec(tiny_dataset, hidden_dim=16, seed=0)
+        # Training with augmentation should not error and should fit a head.
+        baseline.fit_next_hop(epochs=1, augmentation=3)
+        assert baseline.next_hop_head is not None

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface (`repro.cli`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.core.training import TrainingConfig
+from repro.eval.results import ResultTable
+from repro.nn.serialization import save_state_dict
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(["datasets"])
+        assert args.command == "datasets"
+        for command in ("train", "evaluate", "experiment", "radar"):
+            assert parser.parse_args([command]).command == command
+
+    def test_no_command_prints_help_and_returns_2(self, capsys):
+        assert cli.main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_train_defaults(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(["train"])
+        assert args.dataset == "xa_like"
+        assert args.size == "tiny"
+        assert args.stage1_epochs == 1
+
+    def test_unknown_dataset_rejected(self):
+        parser = cli.build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["train", "--dataset", "nowhere"])
+
+
+class TestDatasetsCommand:
+    def test_prints_table_for_requested_presets(self, capsys, monkeypatch, tiny_dataset):
+        monkeypatch.setattr(cli, "load_dataset", lambda name, seed=0: tiny_dataset)
+        exit_code = cli.main(["datasets", "--names", "xa_like"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "xa_like" in output
+        assert "trajectories" in output
+
+    def test_json_output(self, capsys, monkeypatch, tiny_dataset):
+        monkeypatch.setattr(cli, "load_dataset", lambda name, seed=0: tiny_dataset)
+        exit_code = cli.main(["datasets", "--names", "xa_like", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "rows" in payload
+        assert "xa_like" in payload["rows"]
+
+
+class TestTrainCommand:
+    def test_train_glue_saves_checkpoint(self, capsys, monkeypatch, tmp_path, tiny_dataset, trained_model):
+        monkeypatch.setattr(cli, "load_dataset", lambda name, seed=0: tiny_dataset)
+        monkeypatch.setattr(
+            cli, "train_bigcity", lambda dataset, model_config=None, training_config=None: (trained_model, {"stage1": [], "stage2": []})
+        )
+        output = tmp_path / "model.npz"
+        exit_code = cli.main(["train", "--dataset", "xa_like", "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+        printed = capsys.readouterr().out
+        assert "trained BIGCity" in printed
+        assert "saved model weights" in printed
+
+
+class TestEvaluateCommand:
+    def test_evaluate_from_checkpoint(self, capsys, monkeypatch, tmp_path, tiny_dataset, trained_model):
+        checkpoint = tmp_path / "weights.npz"
+        save_state_dict(trained_model, checkpoint)
+        monkeypatch.setattr(cli, "load_dataset", lambda name, seed=0: tiny_dataset)
+        exit_code = cli.main(
+            [
+                "evaluate",
+                "--dataset",
+                "xa_like",
+                "--checkpoint",
+                str(checkpoint),
+                "--max-samples",
+                "6",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        row = payload["rows"]["bigcity"]
+        assert "tte_mae" in row and "next_acc" in row and "simi_hr@5" in row
+        assert row["tte_mae"] >= 0.0
+
+
+class TestExperimentCommand:
+    def test_list_experiments(self, capsys):
+        exit_code = cli.main(["experiment", "--list"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "table3" in output
+        assert "fig1" in output
+
+    def test_missing_name_is_an_error(self, capsys):
+        assert cli.main(["experiment"]) == 2
+
+    def test_unknown_experiment_raises_key_error(self):
+        with pytest.raises(KeyError):
+            cli.main(["experiment", "table99"])
+
+    def test_experiment_runner_output_saved(self, capsys, monkeypatch, tmp_path):
+        table = ResultTable(title="fake table")
+        table.add_row("bigcity", {"metric": 1.0})
+
+        class FakeSpec:
+            runner = staticmethod(lambda context: {"only": table})
+
+        monkeypatch.setattr(cli, "get_experiment", lambda name: FakeSpec)
+        monkeypatch.setattr(cli, "ExperimentContext", lambda profile: object())
+        output = tmp_path / "result.json"
+        exit_code = cli.main(["experiment", "table2", "--output", str(output)])
+        assert exit_code == 0
+        assert "fake table" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload[0]["rows"]["bigcity"]["metric"] == 1.0
+
+
+class TestHelpers:
+    def test_tables_from_result_flattens_nested_dicts(self):
+        table_a = ResultTable(title="a")
+        table_b = ResultTable(title="b")
+        result = {"x": table_a, "nested": {"y": table_b}}
+        tables = cli._tables_from_result(result)
+        assert tables == [table_a, table_b]
+
+    def test_tables_from_result_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            cli._tables_from_result(42)
+
+    def test_model_config_sizes(self):
+        assert cli._model_config("tiny", seed=1).seed == 1
+        assert cli._model_config("small", seed=2).seed == 2
+        assert cli._model_config("default", seed=3).seed == 3
+        with pytest.raises(ValueError):
+            cli._model_config("huge", seed=0)

@@ -1,0 +1,111 @@
+"""Tests for few-shot / zero-shot cross-city adaptation (`repro.core.fewshot`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fewshot import (
+    AdaptationResult,
+    evaluate_adaptation,
+    few_shot_transfer,
+    limit_training_trajectories,
+    zero_shot_transfer,
+)
+from repro.core.training import TrainingConfig
+
+
+class TestLimitTrainingTrajectories:
+    def test_limits_train_split_only(self, tiny_dataset):
+        limited = limit_training_trajectories(tiny_dataset, shots=5, seed=0)
+        assert len(limited.splits.train) == 5
+        assert limited.splits.validation == tiny_dataset.splits.validation
+        assert limited.splits.test == tiny_dataset.splits.test
+
+    def test_selected_indices_come_from_original_train_split(self, tiny_dataset):
+        limited = limit_training_trajectories(tiny_dataset, shots=6, seed=1)
+        assert set(limited.splits.train) <= set(tiny_dataset.splits.train)
+
+    def test_more_shots_than_available_returns_original(self, tiny_dataset):
+        limited = limit_training_trajectories(tiny_dataset, shots=10_000)
+        assert limited.splits.train == tiny_dataset.splits.train
+
+    def test_balanced_selection_spreads_users(self, tiny_dataset):
+        shots = 6
+        limited = limit_training_trajectories(tiny_dataset, shots=shots, seed=0, balance_users=True)
+        users = {tiny_dataset.trajectories[i].user_id for i in limited.splits.train}
+        # with round-robin selection the number of distinct users is as large
+        # as possible given the shot count
+        available_users = {tiny_dataset.trajectories[i].user_id for i in tiny_dataset.splits.train}
+        assert len(users) == min(shots, len(available_users))
+
+    def test_unbalanced_selection_is_reproducible(self, tiny_dataset):
+        first = limit_training_trajectories(tiny_dataset, shots=4, seed=3, balance_users=False)
+        second = limit_training_trajectories(tiny_dataset, shots=4, seed=3, balance_users=False)
+        assert first.splits.train == second.splits.train
+
+    def test_invalid_shots_raise(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            limit_training_trajectories(tiny_dataset, shots=0)
+
+    def test_original_dataset_untouched(self, tiny_dataset):
+        before = tuple(tiny_dataset.splits.train)
+        limit_training_trajectories(tiny_dataset, shots=3)
+        assert tiny_dataset.splits.train == before
+
+
+@pytest.fixture(scope="module")
+def adaptation(trained_model, tiny_dataset):
+    """A few-shot adaptation of the trained model onto (a limited copy of) the tiny city."""
+    config = TrainingConfig(
+        stage2_epochs=1,
+        batch_size=4,
+        max_trajectories=8,
+        traffic_sequences_per_epoch=2,
+        seed=0,
+    )
+    return few_shot_transfer(
+        trained_model,
+        tiny_dataset,
+        shots=6,
+        finetune_epochs=1,
+        training_config=config,
+    )
+
+
+class TestFewShotTransfer:
+    def test_returns_adaptation_result(self, adaptation, tiny_dataset):
+        assert isinstance(adaptation, AdaptationResult)
+        assert adaptation.shots == 6
+        assert adaptation.dataset_name == tiny_dataset.name
+        assert len(adaptation.finetune_logs) == 1
+
+    def test_backbone_weights_are_transferred(self, adaptation, trained_model):
+        source_state = trained_model.backbone.state_dict()
+        target_state = adaptation.model.backbone.state_dict()
+        shared = [key for key in source_state if key in target_state]
+        assert shared
+        # at least the frozen base weights are bit-identical after transfer
+        identical = sum(
+            1 for key in shared if np.allclose(source_state[key], target_state[key])
+        )
+        assert identical >= len(shared) // 2
+
+    def test_evaluate_adaptation_reports_core_metrics(self, adaptation, tiny_dataset):
+        report = evaluate_adaptation(adaptation, tiny_dataset, max_eval_samples=6)
+        assert {"shots", "tte_mae", "tte_rmse", "next_acc", "next_mrr@5"} <= set(report)
+        assert report["shots"] == 6.0
+        assert report["tte_mae"] >= 0.0
+        assert 0.0 <= report["next_acc"] <= 1.0
+
+
+class TestZeroShotTransfer:
+    def test_zero_shot_runs_without_finetuning(self, trained_model, tiny_dataset):
+        result = zero_shot_transfer(trained_model, tiny_dataset)
+        assert result.shots == 0
+        assert result.finetune_logs == []
+        # the transferred model can run inference on the target city
+        trajectories = [t for t in tiny_dataset.test_trajectories if len(t) >= 3][:2]
+        rankings = result.model.predict_next_hop(trajectories, top_k=3)
+        assert len(rankings) == 2
+        assert all(len(r) == 3 for r in rankings)

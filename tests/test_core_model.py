@@ -1,0 +1,197 @@
+"""Tests for the assembled BIGCity model, heads and backbone."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.backbone import BIGCityBackbone
+from repro.core.config import BIGCityConfig
+from repro.core.heads import GeneralTaskHeads, LabelSpace
+from repro.core.model import BIGCity
+from repro.core.prompts import TaskType
+from repro.nn.lora import LoRALinear
+from repro.nn.tensor import Tensor
+
+
+class TestConfig:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            BIGCityConfig(d_model=30, num_heads=4)
+        with pytest.raises(ValueError):
+            BIGCityConfig(lora_coverage=0.0)
+        with pytest.raises(ValueError):
+            BIGCityConfig(history_window=0)
+
+    def test_named_presets(self):
+        assert BIGCityConfig.tiny().d_model < BIGCityConfig.small().d_model
+
+
+class TestBackbone:
+    def test_lora_attached_and_base_frozen(self):
+        backbone = BIGCityBackbone(BIGCityConfig.tiny(), text_vocab_size=20)
+        assert backbone.lora_module_names
+        assert isinstance(backbone.llm.blocks[0].attn.q_proj, LoRALinear)
+        trainable = backbone.trainable_parameter_count()
+        total = backbone.total_parameter_count()
+        assert 0 < trainable < total
+
+    def test_text_embedding_and_forward(self):
+        backbone = BIGCityBackbone(BIGCityConfig.tiny(), text_vocab_size=20)
+        emb = backbone.embed_text(np.array([1, 2, 3]))
+        assert emb.shape == (3, backbone.d_model)
+        out = backbone(emb.reshape(1, 3, backbone.d_model))
+        assert out.shape == (1, 3, backbone.d_model)
+
+    def test_coverage_reduces_adapted_modules(self):
+        full = BIGCityBackbone(BIGCityConfig.tiny(), text_vocab_size=10)
+        half = BIGCityBackbone(BIGCityConfig(
+            hidden_dim=16, d_model=32, num_layers=2, num_heads=2, lora_coverage=0.5, seed=0
+        ), text_vocab_size=10)
+        assert len(half.lora_module_names) < len(full.lora_module_names)
+
+
+class TestGeneralTaskHeads:
+    def test_three_decoders_shapes(self):
+        space = LabelSpace(num_segments=20, num_users=5, num_patterns=2)
+        heads = GeneralTaskHeads(d_model=16, label_space=space, regression_dim=3)
+        tokens = Tensor(np.random.default_rng(0).standard_normal((4, 16)))
+        logits, timestamps, regression = heads(tokens)
+        assert logits.shape == (4, space.size)
+        assert timestamps.shape == (4, 1)
+        assert regression.shape == (4, 3)
+
+    def test_family_restriction(self):
+        space = LabelSpace(num_segments=20, num_users=5, num_patterns=2)
+        heads = GeneralTaskHeads(d_model=16, label_space=space, regression_dim=3)
+        tokens = Tensor(np.zeros((2, 16)))
+        assert heads.classification_logits(tokens, family="segment").shape == (2, 20)
+        assert heads.classification_logits(tokens, family="user").shape == (2, 5)
+        assert heads.classification_logits(tokens, family="pattern").shape == (2, 2)
+
+
+class TestBIGCityForward:
+    def test_from_dataset_sizes_label_space(self, untrained_model, tiny_dataset):
+        assert untrained_model.label_space.num_segments == tiny_dataset.network.num_segments
+        assert untrained_model.label_space.num_users >= tiny_dataset.num_users
+
+    def test_forward_prompts_aligns_outputs_with_placeholders(self, untrained_model, tiny_dataset):
+        trajectory = tiny_dataset.trajectories[0]
+        sequence = untrained_model.sequence_from_trajectory(trajectory)
+        prompts = [
+            untrained_model.prompt_builder.next_hop(sequence),
+            untrained_model.prompt_builder.travel_time(sequence),
+        ]
+        outputs = untrained_model.forward_prompts(prompts)
+        assert len(outputs) == 2
+        assert outputs[0].task_outputs.shape == (1, untrained_model.config.d_model)
+        assert outputs[1].task_outputs.shape == (len(sequence) - 1, untrained_model.config.d_model)
+        assert outputs[0].pooled.shape == (untrained_model.config.d_model,)
+
+    def test_forward_prompts_empty_list(self, untrained_model):
+        assert untrained_model.forward_prompts([]) == []
+
+    def test_prompt_length_limit_enforced(self, tiny_dataset):
+        config = BIGCityConfig.tiny()
+        config.max_position = 8
+        model = BIGCity.from_dataset(tiny_dataset, config=config)
+        long_trajectory = max(tiny_dataset.trajectories, key=len)
+        prompt = model.prompt_builder.travel_time(model.sequence_from_trajectory(long_trajectory))
+        with pytest.raises(ValueError):
+            model.forward_prompts([prompt])
+
+    def test_prompt_loss_is_finite_and_differentiable(self, untrained_model, tiny_dataset):
+        sequence = untrained_model.sequence_from_trajectory(tiny_dataset.trajectories[0])
+        prompts = [
+            untrained_model.prompt_builder.next_hop(sequence),
+            untrained_model.prompt_builder.classification(sequence, target="user"),
+        ]
+        loss, breakdown = untrained_model.prompt_loss(prompts)
+        assert np.isfinite(loss.item())
+        assert breakdown["count"] >= 2
+        loss.backward()
+        grads = [p.grad for p in untrained_model.trainable_parameters() if p.grad is not None]
+        assert grads
+
+    def test_masked_reconstruction_loss_components(self, untrained_model, tiny_dataset):
+        sequence = untrained_model.sequence_from_trajectory(tiny_dataset.trajectories[2])
+        prompt = untrained_model.prompt_builder.masked_reconstruction(sequence, 0.4, rng=np.random.default_rng(0))
+        _, breakdown = untrained_model.prompt_loss([prompt])
+        assert breakdown["clas"] > 0
+        assert breakdown["reg"] > 0
+        assert breakdown["tim"] > 0
+
+    def test_without_prompts_config_omits_text_tokens(self, tiny_dataset):
+        config = BIGCityConfig.tiny()
+        config.use_prompts = False
+        model = BIGCity.from_dataset(tiny_dataset, config=config)
+        sequence = model.sequence_from_trajectory(tiny_dataset.trajectories[0])
+        prompt = model.prompt_builder.next_hop(sequence)
+        rows, task_positions, span = model._assemble_prompt(prompt, model.tokenizer.encode_sequence(prompt.sequence))
+        assert span[0] == 0  # no instruction prefix
+        assert task_positions == [len(prompt.sequence)]
+
+    def test_traffic_normalisation_roundtrip(self, untrained_model):
+        values = np.array([[30.0, 2.0, 1.0], [60.0, 0.0, 5.0]])
+        restored = untrained_model.denormalise_traffic(untrained_model.normalise_traffic(values))
+        assert np.allclose(restored, values)
+
+
+class TestBIGCityInference:
+    def test_predict_next_hop_returns_segment_ids(self, trained_model, tiny_dataset):
+        trajectories = [t for t in tiny_dataset.test_trajectories if len(t) >= 3][:4]
+        rankings = trained_model.predict_next_hop(trajectories, top_k=5)
+        assert len(rankings) == 4
+        for ranking in rankings:
+            assert len(ranking) == 5
+            assert all(0 <= s < tiny_dataset.network.num_segments for s in ranking)
+
+    def test_estimate_travel_time_positive(self, trained_model, tiny_dataset):
+        estimates = trained_model.estimate_travel_time(tiny_dataset.test_trajectories[:4])
+        assert estimates.shape == (4,)
+        assert np.all(estimates >= 0)
+
+    def test_classify_trajectory_user_range(self, trained_model, tiny_dataset):
+        predictions = trained_model.classify_trajectory(tiny_dataset.test_trajectories[:4], target="user")
+        assert np.all((predictions >= 0) & (predictions < trained_model.label_space.num_users))
+
+    def test_classification_scores_sum_to_one(self, trained_model, tiny_dataset):
+        scores = trained_model.classification_scores(tiny_dataset.test_trajectories[:3], target="pattern")
+        assert scores.shape == (3, 2)
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+    def test_trajectory_embeddings_shape_and_determinism(self, trained_model, tiny_dataset):
+        trajectories = tiny_dataset.test_trajectories[:5]
+        a = trained_model.trajectory_embeddings(trajectories)
+        b = trained_model.trajectory_embeddings(trajectories)
+        assert a.shape == (5, trained_model.config.d_model)
+        assert np.allclose(a, b)
+
+    def test_recover_trajectory_output_length(self, trained_model, tiny_dataset):
+        trajectory = max(tiny_dataset.test_trajectories, key=len)
+        kept = [0, len(trajectory) // 2, len(trajectory) - 1]
+        recovered = trained_model.recover_trajectory(trajectory, kept)
+        assert recovered.shape == (len(trajectory) - len(kept),)
+        assert np.all((recovered >= 0) & (recovered < tiny_dataset.network.num_segments))
+
+    def test_predict_traffic_state_shape(self, trained_model):
+        prediction = trained_model.predict_traffic_state(segment_id=1, start_slice=4, history=4, horizon=3)
+        assert prediction.shape == (3, 3)
+
+    def test_impute_traffic_state_shape(self, trained_model):
+        imputed = trained_model.impute_traffic_state(2, 4, 8, [1, 5], traffic_override=None)
+        assert imputed.shape == (2, 3)
+
+    def test_parameter_summary_consistency(self, trained_model):
+        summary = trained_model.parameter_summary()
+        assert summary["trainable"] <= summary["total"]
+        assert summary["backbone_trainable"] <= summary["backbone_total"]
+
+    def test_model_without_traffic_states(self, tiny_dataset_no_traffic):
+        model = BIGCity.from_dataset(tiny_dataset_no_traffic, config=BIGCityConfig.tiny())
+        trajectory = tiny_dataset_no_traffic.trajectories[0]
+        prompt = model.prompt_builder.classification(model.sequence_from_trajectory(trajectory), target="pattern")
+        loss, _ = model.prompt_loss([prompt])
+        assert np.isfinite(loss.item())
+        with pytest.raises(RuntimeError):
+            model.sequence_from_traffic(0, 0, 4)

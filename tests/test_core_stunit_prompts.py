@@ -1,0 +1,249 @@
+"""Tests for ST-units, the unified label space and task-oriented prompts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heads import LabelSpace
+from repro.core.prompts import CLAS, INSTRUCTION_BANK, Prompt, PromptBuilder, REG, TaskType, TextTokenizer
+from repro.core.st_unit import STUnitSequence, traffic_series_to_units, trajectory_to_units
+from repro.data.trajectory import Trajectory, subsample_trajectory
+
+
+@pytest.fixture(scope="module")
+def label_space():
+    return LabelSpace(num_segments=50, num_users=10, num_patterns=2)
+
+
+@pytest.fixture(scope="module")
+def builder(label_space):
+    return PromptBuilder(label_space)
+
+
+def _sequence(length=8, with_dynamic=True, user=3, label=1):
+    dynamic = np.random.default_rng(0).random((length, 3)) if with_dynamic else None
+    return STUnitSequence(
+        segment_ids=np.arange(length) % 50,
+        timestamps=np.arange(length) * 60.0,
+        dynamic_features=dynamic,
+        kind="trajectory",
+        source_id=11,
+        user_id=user,
+        label=label,
+    )
+
+
+class TestSTUnitSequence:
+    def test_length_and_alignment_checks(self):
+        with pytest.raises(ValueError):
+            STUnitSequence(np.arange(3), np.arange(2), None, "trajectory")
+        with pytest.raises(ValueError):
+            STUnitSequence(np.arange(3), np.arange(3), np.zeros((2, 3)), "trajectory")
+        with pytest.raises(ValueError):
+            STUnitSequence(np.arange(3), np.arange(3), None, "other")
+
+    def test_time_intervals_start_with_zero(self):
+        sequence = _sequence()
+        intervals = sequence.time_intervals()
+        assert intervals[0] == 0.0
+        assert np.allclose(intervals[1:], 60.0)
+
+    def test_time_features_shape(self):
+        assert _sequence(5).time_features().shape == (5, 8)
+
+    def test_slice_and_take(self):
+        sequence = _sequence(6)
+        part = sequence.slice(1, 4)
+        assert len(part) == 3
+        taken = sequence.take([0, 5])
+        assert list(taken.segment_ids) == [0, 5]
+        assert taken.user_id == sequence.user_id
+
+    def test_units_materialisation(self):
+        sequence = _sequence(4)
+        static = np.random.default_rng(1).random((50, 7))
+        units = sequence.units(static)
+        assert len(units) == 4
+        assert units[2].segment_id == int(sequence.segment_ids[2])
+        assert units[2].has_dynamic
+
+    def test_trajectory_to_units_without_traffic(self):
+        trajectory = Trajectory(5, 2, [1, 2, 3], [0.0, 30.0, 90.0], label=0)
+        sequence = trajectory_to_units(trajectory, None)
+        assert sequence.dynamic_features is None
+        assert sequence.user_id == 2 and sequence.label == 0
+
+    def test_trajectory_to_units_with_traffic(self, tiny_dataset):
+        trajectory = tiny_dataset.trajectories[0]
+        sequence = trajectory_to_units(trajectory, tiny_dataset.traffic_states)
+        assert sequence.dynamic_features.shape == (len(trajectory), tiny_dataset.traffic_states.num_channels)
+
+    def test_traffic_series_to_units(self, tiny_dataset):
+        sequence = traffic_series_to_units(tiny_dataset.traffic_states, segment_id=2, start_slice=4, num_slices=6)
+        assert len(sequence) == 6
+        assert np.all(sequence.segment_ids == 2)
+        assert sequence.kind == "traffic_state"
+        axis = tiny_dataset.traffic_states.time_axis
+        assert sequence.timestamps[0] == axis.slice_start(4)
+
+    def test_traffic_series_range_check(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            traffic_series_to_units(tiny_dataset.traffic_states, 0, start_slice=0, num_slices=10_000)
+
+
+class TestLabelSpace:
+    def test_offsets_partition_the_space(self, label_space):
+        assert label_space.size == 62
+        assert label_space.segment_label(0) == 0
+        assert label_space.user_label(0) == 50
+        assert label_space.pattern_label(0) == 60
+
+    def test_out_of_range_rejected(self, label_space):
+        with pytest.raises(ValueError):
+            label_space.segment_label(50)
+        with pytest.raises(ValueError):
+            label_space.user_label(10)
+        with pytest.raises(ValueError):
+            label_space.pattern_label(2)
+
+    def test_family_slices_cover_space(self, label_space):
+        total = sum(
+            s.stop - s.start
+            for s in (label_space.segment_slice(), label_space.user_slice(), label_space.pattern_slice())
+        )
+        assert total == label_space.size
+
+    def test_unknown_family_rejected(self, label_space):
+        with pytest.raises(ValueError):
+            label_space.family_slice("vehicle")
+
+    @given(st.integers(min_value=0, max_value=49))
+    @settings(max_examples=20, deadline=None)
+    def test_segment_labels_are_identity(self, label_space, segment):
+        assert label_space.segment_label(segment) == segment
+
+
+class TestTextTokenizer:
+    def test_vocabulary_covers_instruction_bank(self):
+        tokenizer = TextTokenizer()
+        for instruction in INSTRUCTION_BANK.values():
+            ids = tokenizer.encode(instruction)
+            assert len(ids) == len(instruction.split())
+            assert 1 not in ids  # no <unk> for in-bank instructions
+
+    def test_unknown_words_map_to_unk(self):
+        tokenizer = TextTokenizer()
+        ids = tokenizer.encode("completely unseen zorblax words")
+        assert (ids == 1).any()
+
+    def test_decode_roundtrip(self):
+        tokenizer = TextTokenizer()
+        sentence = INSTRUCTION_BANK[TaskType.NEXT_HOP]
+        assert tokenizer.decode(tokenizer.encode(sentence)) == sentence
+
+
+class TestPromptBuilder:
+    def test_next_hop_prompt_strips_target(self, builder):
+        sequence = _sequence(6)
+        prompt = builder.next_hop(sequence)
+        assert prompt.task is TaskType.NEXT_HOP
+        assert len(prompt.sequence) == 5
+        assert prompt.placeholders == (CLAS,)
+        assert prompt.classification_targets == (int(sequence.segment_ids[-1]),)
+
+    def test_next_hop_needs_three_samples(self, builder):
+        with pytest.raises(ValueError):
+            builder.next_hop(_sequence(2))
+
+    def test_travel_time_prompt_hides_all_but_first_timestamp(self, builder):
+        prompt = builder.travel_time(_sequence(5))
+        assert prompt.task is TaskType.TRAVEL_TIME
+        assert prompt.time_feature_mask.tolist() == [False, True, True, True, True]
+        assert prompt.placeholders == tuple([REG] * 4)
+        assert np.allclose(prompt.timestamp_targets, 60.0)
+
+    def test_classification_prompt_user_and_pattern(self, builder, label_space):
+        user_prompt = builder.classification(_sequence(), target="user")
+        assert user_prompt.classification_targets == (label_space.user_label(3),)
+        pattern_prompt = builder.classification(_sequence(), target="pattern")
+        assert pattern_prompt.classification_targets == (label_space.pattern_label(1),)
+        with pytest.raises(ValueError):
+            builder.classification(_sequence(), target="vehicle")
+
+    def test_similarity_prompt_has_no_supervision(self, builder):
+        prompt = builder.similarity(_sequence())
+        assert prompt.classification_targets == (-1,)
+
+    def test_recovery_prompt_masks_missing_positions(self, builder):
+        sequence = _sequence(10)
+        kept = [0, 3, 9]
+        prompt = builder.recovery(sequence, kept)
+        assert prompt.task is TaskType.RECOVERY
+        assert set(prompt.mask_positions) == set(range(10)) - set(kept)
+        assert len(prompt.placeholders) == 7
+        assert all(kind == CLAS for kind in prompt.placeholders)
+        # Targets follow ascending masked position order.
+        assert prompt.classification_targets[0] == int(sequence.segment_ids[1])
+
+    def test_recovery_requires_known_endpoints(self, builder):
+        with pytest.raises(ValueError):
+            builder.recovery(_sequence(6), kept_indices=[1, 3])
+
+    def test_traffic_prediction_prompt(self, builder, tiny_dataset):
+        history = traffic_series_to_units(tiny_dataset.traffic_states, 1, 0, 6)
+        target = tiny_dataset.traffic_states.segment_series(1)[6:12]
+        prompt = builder.traffic_prediction(history, target, multi_step=True)
+        assert prompt.task is TaskType.TRAFFIC_MULTI_STEP
+        assert len(prompt.placeholders) == 6
+        assert np.allclose(prompt.regression_targets[0], target[0])
+
+    def test_one_step_requires_single_target(self, builder, tiny_dataset):
+        history = traffic_series_to_units(tiny_dataset.traffic_states, 1, 0, 6)
+        target = tiny_dataset.traffic_states.segment_series(1)[6:8]
+        with pytest.raises(ValueError):
+            builder.traffic_prediction(history, target, multi_step=False)
+
+    def test_imputation_prompt_requires_dynamic_features(self, builder):
+        with pytest.raises(ValueError):
+            builder.traffic_imputation(_sequence(6, with_dynamic=False), [1, 2])
+
+    def test_imputation_prompt_targets_masked_rows(self, builder, tiny_dataset):
+        sequence = traffic_series_to_units(tiny_dataset.traffic_states, 0, 0, 8)
+        prompt = builder.traffic_imputation(sequence, [2, 5])
+        assert prompt.mask_positions == (2, 5)
+        assert np.allclose(prompt.regression_targets[1], sequence.dynamic_features[5])
+
+    def test_masked_reconstruction_prompt_pairs(self, builder):
+        sequence = _sequence(10)
+        prompt = builder.masked_reconstruction(sequence, mask_ratio=0.3, rng=np.random.default_rng(0))
+        assert prompt.task is TaskType.MASKED_RECONSTRUCTION
+        assert len(prompt.placeholders) == 2 * len(prompt.mask_positions)
+        assert prompt.placeholders[::2] == tuple([CLAS] * len(prompt.mask_positions))
+        assert prompt.placeholders[1::2] == tuple([REG] * len(prompt.mask_positions))
+        assert len(prompt.timestamp_targets) == len(prompt.mask_positions)
+
+    def test_prompt_validation(self, builder):
+        sequence = _sequence(4)
+        with pytest.raises(ValueError):
+            Prompt(task=TaskType.NEXT_HOP, sequence=sequence, placeholders=("other",))
+        with pytest.raises(ValueError):
+            Prompt(task=TaskType.NEXT_HOP, sequence=sequence, mask_positions=(9,))
+
+    def test_instruction_lookup(self, builder):
+        prompt = builder.next_hop(_sequence(5))
+        assert prompt.instruction == INSTRUCTION_BANK[TaskType.NEXT_HOP]
+
+    @given(st.integers(min_value=6, max_value=20), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_recovery_targets_match_masked_segments(self, builder, length, seed):
+        rng = np.random.default_rng(seed)
+        trajectory = Trajectory(0, 1, list(rng.integers(0, 50, size=length)), sorted(rng.uniform(0, 1000, size=length)))
+        sequence = trajectory_to_units(trajectory)
+        _, kept = subsample_trajectory(trajectory, keep_ratio=0.3, rng=rng)
+        prompt = builder.recovery(sequence, kept)
+        missing = np.setdiff1d(np.arange(length), kept)
+        expected = tuple(int(sequence.segment_ids[i]) for i in missing)
+        assert prompt.classification_targets == expected

@@ -1,0 +1,179 @@
+"""Tests for trajectory augmentation (`repro.data.augmentation`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import augmentation
+from repro.data.trajectory import Trajectory
+from repro.roadnet.generators import grid_city
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=3, cols=3, block_km=0.5, seed=5)
+
+
+@pytest.fixture(scope="module")
+def walk_trajectory(network):
+    rng = np.random.default_rng(11)
+    segments = network.random_walk(0, length=10, rng=rng)
+    timestamps = [float(1_000 + 60 * i) for i in range(len(segments))]
+    return Trajectory(trajectory_id=1, user_id=4, segments=segments, timestamps=timestamps, label=1)
+
+
+def _is_valid(trajectory: Trajectory) -> bool:
+    increasing = all(b >= a for a, b in zip(trajectory.timestamps, trajectory.timestamps[1:]))
+    return len(trajectory) >= 2 and increasing
+
+
+class TestDropSamples:
+    def test_endpoints_preserved(self, walk_trajectory):
+        rng = np.random.default_rng(0)
+        dropped = augmentation.drop_samples(walk_trajectory, 0.5, rng)
+        assert dropped.segments[0] == walk_trajectory.segments[0]
+        assert dropped.segments[-1] == walk_trajectory.segments[-1]
+        assert len(dropped) <= len(walk_trajectory)
+        assert _is_valid(dropped)
+
+    def test_zero_ratio_keeps_everything(self, walk_trajectory):
+        rng = np.random.default_rng(0)
+        kept = augmentation.drop_samples(walk_trajectory, 0.0, rng)
+        assert kept.segments == walk_trajectory.segments
+
+    def test_original_untouched(self, walk_trajectory):
+        before = list(walk_trajectory.segments)
+        augmentation.drop_samples(walk_trajectory, 0.5, np.random.default_rng(0))
+        assert walk_trajectory.segments == before
+
+    def test_invalid_ratio_raises(self, walk_trajectory):
+        with pytest.raises(ValueError):
+            augmentation.drop_samples(walk_trajectory, 1.0, np.random.default_rng(0))
+
+    @given(ratio=st.floats(min_value=0.0, max_value=0.95), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_result_always_valid(self, walk_trajectory, ratio, seed):
+        dropped = augmentation.drop_samples(walk_trajectory, ratio, np.random.default_rng(seed))
+        assert _is_valid(dropped)
+        assert dropped.user_id == walk_trajectory.user_id
+        assert dropped.label == walk_trajectory.label
+
+
+class TestCropWindow:
+    def test_window_length(self, walk_trajectory):
+        cropped = augmentation.crop_window(walk_trajectory, 4, np.random.default_rng(0))
+        assert len(cropped) == 4
+        assert _is_valid(cropped)
+
+    def test_window_is_contiguous_subsequence(self, walk_trajectory):
+        cropped = augmentation.crop_window(walk_trajectory, 5, np.random.default_rng(1))
+        joined = ",".join(str(s) for s in walk_trajectory.segments)
+        assert ",".join(str(s) for s in cropped.segments) in joined
+
+    def test_short_trajectory_unchanged(self, walk_trajectory):
+        cropped = augmentation.crop_window(walk_trajectory, 100, np.random.default_rng(0))
+        assert cropped.segments == walk_trajectory.segments
+
+    def test_invalid_window_raises(self, walk_trajectory):
+        with pytest.raises(ValueError):
+            augmentation.crop_window(walk_trajectory, 1, np.random.default_rng(0))
+
+
+class TestJitterTimestamps:
+    def test_order_preserved(self, walk_trajectory):
+        jittered = augmentation.jitter_timestamps(walk_trajectory, 30.0, np.random.default_rng(0))
+        assert _is_valid(jittered)
+        assert jittered.segments == walk_trajectory.segments
+
+    def test_endpoints_unchanged(self, walk_trajectory):
+        jittered = augmentation.jitter_timestamps(walk_trajectory, 30.0, np.random.default_rng(0))
+        assert jittered.timestamps[0] == walk_trajectory.timestamps[0]
+        assert jittered.timestamps[-1] == walk_trajectory.timestamps[-1]
+
+    def test_zero_jitter_is_identity(self, walk_trajectory):
+        jittered = augmentation.jitter_timestamps(walk_trajectory, 0.0, np.random.default_rng(0))
+        assert jittered.timestamps == walk_trajectory.timestamps
+
+    def test_negative_jitter_raises(self, walk_trajectory):
+        with pytest.raises(ValueError):
+            augmentation.jitter_timestamps(walk_trajectory, -1.0, np.random.default_rng(0))
+
+    @given(shift=st.floats(min_value=0.0, max_value=600.0), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_always_non_decreasing(self, walk_trajectory, shift, seed):
+        jittered = augmentation.jitter_timestamps(walk_trajectory, shift, np.random.default_rng(seed))
+        assert _is_valid(jittered)
+
+
+class TestPerturbSegments:
+    def test_endpoints_never_perturbed(self, walk_trajectory, network):
+        perturbed = augmentation.perturb_segments(walk_trajectory, network, 1.0, np.random.default_rng(0))
+        assert perturbed.segments[0] == walk_trajectory.segments[0]
+        assert perturbed.segments[-1] == walk_trajectory.segments[-1]
+
+    def test_replacements_are_graph_neighbours(self, walk_trajectory, network):
+        perturbed = augmentation.perturb_segments(walk_trajectory, network, 1.0, np.random.default_rng(0))
+        for original, replaced in zip(walk_trajectory.segments[1:-1], perturbed.segments[1:-1]):
+            if original == replaced:
+                continue
+            neighbours = set(network.successors(original)) | set(network.predecessors(original))
+            assert replaced in neighbours
+
+    def test_zero_ratio_is_identity(self, walk_trajectory, network):
+        perturbed = augmentation.perturb_segments(walk_trajectory, network, 0.0, np.random.default_rng(0))
+        assert perturbed.segments == walk_trajectory.segments
+
+    def test_invalid_ratio_raises(self, walk_trajectory, network):
+        with pytest.raises(ValueError):
+            augmentation.perturb_segments(walk_trajectory, network, 1.5, np.random.default_rng(0))
+
+
+class TestDetour:
+    def test_detour_inserts_segments(self, walk_trajectory, network):
+        detoured = augmentation.detour(walk_trajectory, network, np.random.default_rng(2), max_extra_hops=2)
+        assert len(detoured) >= len(walk_trajectory)
+        assert _is_valid(detoured)
+
+    def test_detour_preserves_endpoints(self, walk_trajectory, network):
+        detoured = augmentation.detour(walk_trajectory, network, np.random.default_rng(2))
+        assert detoured.segments[0] == walk_trajectory.segments[0]
+        assert detoured.segments[-1] == walk_trajectory.segments[-1]
+
+    def test_detour_inserts_a_bounded_number_of_segments(self, walk_trajectory, network):
+        rng = np.random.default_rng(3)
+        max_extra = 3
+        detoured = augmentation.detour(walk_trajectory, network, rng, max_extra_hops=max_extra)
+        inserted = len(detoured) - len(walk_trajectory)
+        assert 0 <= inserted <= max_extra
+
+    def test_invalid_hops_raise(self, walk_trajectory, network):
+        with pytest.raises(ValueError):
+            augmentation.detour(walk_trajectory, network, np.random.default_rng(0), max_extra_hops=0)
+
+
+class TestAugmentDataset:
+    def test_copies_count(self, walk_trajectory, network):
+        augmented = augmentation.augment_dataset([walk_trajectory] * 3, network, copies=2, seed=0)
+        assert len(augmented) == 6
+        assert all(_is_valid(t) for t in augmented)
+
+    def test_zero_copies(self, walk_trajectory, network):
+        assert augmentation.augment_dataset([walk_trajectory], network, copies=0) == []
+
+    def test_deterministic_given_seed(self, walk_trajectory, network):
+        first = augmentation.augment_dataset([walk_trajectory], network, copies=2, seed=9)
+        second = augmentation.augment_dataset([walk_trajectory], network, copies=2, seed=9)
+        assert [t.segments for t in first] == [t.segments for t in second]
+        assert [t.timestamps for t in first] == [t.timestamps for t in second]
+
+    def test_negative_copies_raise(self, walk_trajectory, network):
+        with pytest.raises(ValueError):
+            augmentation.augment_dataset([walk_trajectory], network, copies=-1)
+
+    def test_labels_and_users_preserved(self, walk_trajectory, network):
+        augmented = augmentation.augment_dataset([walk_trajectory], network, copies=3, seed=1)
+        assert all(t.user_id == walk_trajectory.user_id for t in augmented)
+        assert all(t.label == walk_trajectory.label for t in augmented)

@@ -1,0 +1,139 @@
+"""Tests for GPS traces and map matching round trips (`repro.data.gps`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.gps import GPSPoint, GPSTrace, map_match_trace, trajectory_to_gps
+from repro.data.mapmatch import HMMMapMatcher
+from repro.data.trajectory import Trajectory
+from repro.roadnet.generators import grid_city
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=4, cols=4, block_km=0.6, seed=9)
+
+
+@pytest.fixture(scope="module")
+def walk(network):
+    rng = np.random.default_rng(3)
+    segments = network.random_walk(0, length=9, rng=rng)
+    timestamps = [float(500 + 45 * i) for i in range(len(segments))]
+    return Trajectory(trajectory_id=7, user_id=2, segments=segments, timestamps=timestamps)
+
+
+class TestGPSTrace:
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            GPSTrace(trace_id=0, user_id=0, points=[GPSPoint(0.0, 0.0, 1.0)])
+
+    def test_requires_time_order(self):
+        points = [GPSPoint(0.0, 0.0, 2.0), GPSPoint(1.0, 0.0, 1.0)]
+        with pytest.raises(ValueError):
+            GPSTrace(trace_id=0, user_id=0, points=points)
+
+    def test_duration_and_arrays(self):
+        points = [GPSPoint(0.0, 0.0, 0.0), GPSPoint(1.0, 1.0, 30.0), GPSPoint(2.0, 0.5, 90.0)]
+        trace = GPSTrace(trace_id=1, user_id=3, points=points)
+        assert trace.duration == 90.0
+        assert trace.positions().shape == (3, 2)
+        assert trace.timestamps().tolist() == [0.0, 30.0, 90.0]
+
+    def test_bounding_box(self):
+        points = [GPSPoint(0.0, -1.0, 0.0), GPSPoint(2.0, 3.0, 10.0)]
+        trace = GPSTrace(trace_id=1, user_id=0, points=points)
+        assert trace.bounding_box() == ((0.0, -1.0), (2.0, 3.0))
+
+
+class TestTrajectoryToGps:
+    def test_point_count_and_order(self, walk, network):
+        trace = trajectory_to_gps(walk, network, points_per_segment=3, noise_sigma_km=0.0, seed=0)
+        assert len(trace) == 3 * len(walk)
+        times = trace.timestamps()
+        assert np.all(np.diff(times) >= 0)
+
+    def test_noise_free_points_lie_on_segments(self, walk, network):
+        trace = trajectory_to_gps(walk, network, points_per_segment=2, noise_sigma_km=0.0, seed=0)
+        # each noise-free fix must lie within the bounding box of some visited segment
+        visited = [network.segment(s) for s in walk.segments]
+        for point in trace.points:
+            inside_any = False
+            for segment in visited:
+                xs = sorted([segment.start[0], segment.end[0]])
+                ys = sorted([segment.start[1], segment.end[1]])
+                if xs[0] - 1e-9 <= point.x <= xs[1] + 1e-9 and ys[0] - 1e-9 <= point.y <= ys[1] + 1e-9:
+                    inside_any = True
+                    break
+            assert inside_any
+
+    def test_noise_changes_positions_deterministically(self, walk, network):
+        noisy_a = trajectory_to_gps(walk, network, noise_sigma_km=0.05, seed=4)
+        noisy_b = trajectory_to_gps(walk, network, noise_sigma_km=0.05, seed=4)
+        clean = trajectory_to_gps(walk, network, noise_sigma_km=0.0, seed=4)
+        np.testing.assert_allclose(noisy_a.positions(), noisy_b.positions())
+        assert not np.allclose(noisy_a.positions(), clean.positions())
+
+    def test_preserves_ids(self, walk, network):
+        trace = trajectory_to_gps(walk, network, seed=0)
+        assert trace.trace_id == walk.trajectory_id
+        assert trace.user_id == walk.user_id
+
+    def test_invalid_parameters_raise(self, walk, network):
+        with pytest.raises(ValueError):
+            trajectory_to_gps(walk, network, points_per_segment=0)
+        with pytest.raises(ValueError):
+            trajectory_to_gps(walk, network, noise_sigma_km=-0.1)
+
+
+class TestMapMatchRoundTrip:
+    def test_clean_trace_recovers_most_segments(self, walk, network):
+        trace = trajectory_to_gps(walk, network, points_per_segment=2, noise_sigma_km=0.0, seed=0)
+        recovered = map_match_trace(trace, network)
+        # the matcher works on midpoints, so adjacent parallel segments can be
+        # confused; require a clear majority of the original path to reappear
+        overlap = len(set(recovered.segments) & set(walk.segments)) / len(set(walk.segments))
+        assert overlap >= 0.5
+        assert recovered.trajectory_id == walk.trajectory_id
+        assert recovered.user_id == walk.user_id
+
+    def test_recovered_trajectory_is_valid(self, walk, network):
+        trace = trajectory_to_gps(walk, network, points_per_segment=2, noise_sigma_km=0.03, seed=1)
+        recovered = map_match_trace(trace, network)
+        assert len(recovered) >= 2
+        assert all(0 <= s < network.num_segments for s in recovered.segments)
+        assert all(b >= a for a, b in zip(recovered.timestamps, recovered.timestamps[1:]))
+
+    def test_no_consecutive_duplicates(self, walk, network):
+        trace = trajectory_to_gps(walk, network, points_per_segment=3, noise_sigma_km=0.0, seed=0)
+        recovered = map_match_trace(trace, network)
+        duplicates = [a for a, b in zip(recovered.segments, recovered.segments[1:]) if a == b]
+        assert not duplicates
+
+    def test_degenerate_trace_still_yields_two_samples(self, network):
+        segment = network.segment(0)
+        mid = segment.midpoint
+        points = [GPSPoint(mid[0], mid[1], float(t)) for t in (0.0, 10.0, 20.0)]
+        trace = GPSTrace(trace_id=5, user_id=1, points=points)
+        recovered = map_match_trace(trace, network)
+        assert len(recovered) == 2
+
+    def test_custom_matcher_is_used(self, walk, network):
+        trace = trajectory_to_gps(walk, network, noise_sigma_km=0.0, seed=0)
+        matcher = HMMMapMatcher(network, num_candidates=3)
+        recovered = map_match_trace(trace, network, matcher=matcher)
+        assert len(recovered) >= 2
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_never_crashes(self, network, seed):
+        rng = np.random.default_rng(seed)
+        segments = network.random_walk(int(rng.integers(0, network.num_segments)), length=6, rng=rng)
+        timestamps = [float(100 + 30 * i) for i in range(len(segments))]
+        trajectory = Trajectory(trajectory_id=seed, user_id=0, segments=segments, timestamps=timestamps)
+        trace = trajectory_to_gps(trajectory, network, noise_sigma_km=0.05, seed=seed)
+        recovered = map_match_trace(trace, network)
+        assert len(recovered) >= 2

@@ -1,0 +1,76 @@
+"""Tests for dataset persistence (`repro.data.io`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_dataset_directory, load_trajectories, save_dataset, save_trajectories
+
+
+class TestTrajectoriesRoundTrip:
+    def test_round_trip_preserves_content(self, tiny_dataset, tmp_path):
+        path = save_trajectories(tiny_dataset.trajectories, tmp_path / "trajectories.jsonl")
+        restored = load_trajectories(path)
+        assert len(restored) == len(tiny_dataset.trajectories)
+        for original, loaded in zip(tiny_dataset.trajectories, restored):
+            assert loaded.trajectory_id == original.trajectory_id
+            assert loaded.user_id == original.user_id
+            assert loaded.segments == original.segments
+            np.testing.assert_allclose(loaded.timestamps, original.timestamps)
+
+    def test_blank_lines_are_skipped(self, tiny_dataset, tmp_path):
+        path = save_trajectories(tiny_dataset.trajectories[:3], tmp_path / "t.jsonl")
+        content = path.read_text() + "\n\n"
+        path.write_text(content)
+        assert len(load_trajectories(path)) == 3
+
+    def test_invalid_json_reports_line_number(self, tiny_dataset, tmp_path):
+        valid_line = json.dumps(tiny_dataset.trajectories[0].to_dict())
+        path = tmp_path / "broken.jsonl"
+        path.write_text(valid_line + "\nnot json\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_trajectories(path)
+
+
+class TestDatasetRoundTrip:
+    def test_round_trip_preserves_structure(self, tiny_dataset, tmp_path):
+        directory = save_dataset(tiny_dataset, tmp_path / "tiny")
+        restored = load_dataset_directory(directory)
+        assert restored.name == tiny_dataset.name
+        assert restored.num_segments == tiny_dataset.num_segments
+        assert len(restored.trajectories) == len(tiny_dataset.trajectories)
+        assert restored.splits.train == tiny_dataset.splits.train
+        assert restored.time_axis.num_slices == tiny_dataset.time_axis.num_slices
+        np.testing.assert_allclose(restored.traffic_states.values, tiny_dataset.traffic_states.values)
+        assert restored.traffic_states.channels == tiny_dataset.traffic_states.channels
+
+    def test_round_trip_without_traffic_states(self, tiny_dataset_no_traffic, tmp_path):
+        directory = save_dataset(tiny_dataset_no_traffic, tmp_path / "no_traffic")
+        restored = load_dataset_directory(directory)
+        assert restored.traffic_states is None
+        assert restored.has_dynamic_features is False
+
+    def test_expected_files_exist(self, tiny_dataset, tmp_path):
+        directory = save_dataset(tiny_dataset, tmp_path / "tiny")
+        for name in ("network.json", "trajectories.jsonl", "traffic.npz", "metadata.json"):
+            assert (directory / name).exists()
+        metadata = json.loads((directory / "metadata.json").read_text())
+        assert metadata["name"] == tiny_dataset.name
+
+    def test_missing_metadata_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_directory(tmp_path)
+
+    def test_missing_traffic_file_raises(self, tiny_dataset, tmp_path):
+        directory = save_dataset(tiny_dataset, tmp_path / "tiny")
+        (directory / "traffic.npz").unlink()
+        with pytest.raises(FileNotFoundError):
+            load_dataset_directory(directory)
+
+    def test_restored_dataset_summary_matches(self, tiny_dataset, tmp_path):
+        directory = save_dataset(tiny_dataset, tmp_path / "tiny")
+        restored = load_dataset_directory(directory)
+        assert restored.summary() == tiny_dataset.summary()

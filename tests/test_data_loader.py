@@ -1,0 +1,126 @@
+"""Tests for batching utilities (`repro.data.loader`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.loader import TrafficWindowSampler, TrajectoryLoader, collate_trajectories
+from repro.data.trajectory import Trajectory
+
+
+def _trajectory(trajectory_id: int, length: int, user_id: int = 0, label=None) -> Trajectory:
+    return Trajectory(
+        trajectory_id=trajectory_id,
+        user_id=user_id,
+        segments=list(range(length)),
+        timestamps=[float(60 * i) for i in range(length)],
+        label=label,
+    )
+
+
+class TestCollateTrajectories:
+    def test_padding_and_mask(self):
+        batch = collate_trajectories([_trajectory(0, 3), _trajectory(1, 5)])
+        assert batch.batch_size == 2
+        assert batch.max_length == 5
+        assert batch.lengths.tolist() == [3, 5]
+        # padded positions are masked and filled with the pad segment
+        assert batch.padding_mask[0, 3:].all()
+        assert not batch.padding_mask[1].any()
+        assert (batch.segments[0, 3:] == 0).all()
+
+    def test_labels_default_to_minus_one(self):
+        batch = collate_trajectories([_trajectory(0, 3), _trajectory(1, 3, label=2)])
+        assert batch.labels.tolist() == [-1, 2]
+
+    def test_user_and_trajectory_ids_preserved(self):
+        batch = collate_trajectories([_trajectory(7, 3, user_id=4), _trajectory(9, 4, user_id=1)])
+        assert batch.user_ids.tolist() == [4, 1]
+        assert batch.trajectory_ids.tolist() == [7, 9]
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            collate_trajectories([])
+
+    def test_custom_pad_segment(self):
+        batch = collate_trajectories([_trajectory(0, 2), _trajectory(1, 4)], pad_segment=99)
+        assert (batch.segments[0, 2:] == 99).all()
+
+    @given(lengths=st.lists(st.integers(min_value=2, max_value=12), min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_unpadded_content_round_trips(self, lengths):
+        trajectories = [_trajectory(i, length) for i, length in enumerate(lengths)]
+        batch = collate_trajectories(trajectories)
+        for row, trajectory in enumerate(trajectories):
+            length = len(trajectory)
+            assert batch.segments[row, :length].tolist() == trajectory.segments
+            np.testing.assert_allclose(batch.timestamps[row, :length], trajectory.timestamps)
+            assert (~batch.padding_mask[row, :length]).all()
+
+
+class TestTrajectoryLoader:
+    def test_batches_cover_every_trajectory_once(self):
+        trajectories = [_trajectory(i, 3) for i in range(10)]
+        loader = TrajectoryLoader(trajectories, batch_size=3, shuffle=True, seed=0)
+        seen = []
+        for batch in loader:
+            seen.extend(batch.trajectory_ids.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_len_matches_iteration(self):
+        trajectories = [_trajectory(i, 3) for i in range(10)]
+        loader = TrajectoryLoader(trajectories, batch_size=4, shuffle=False)
+        assert len(loader) == len(list(loader))
+
+    def test_drop_last(self):
+        trajectories = [_trajectory(i, 3) for i in range(10)]
+        loader = TrajectoryLoader(trajectories, batch_size=4, drop_last=True, shuffle=False)
+        batches = list(loader)
+        assert all(batch.batch_size == 4 for batch in batches)
+        assert len(batches) == 2
+
+    def test_invalid_batch_size_raises(self):
+        with pytest.raises(ValueError):
+            TrajectoryLoader([_trajectory(0, 3)], batch_size=0)
+
+    def test_shuffling_is_seeded(self):
+        trajectories = [_trajectory(i, 3) for i in range(12)]
+        first = [b.trajectory_ids.tolist() for b in TrajectoryLoader(trajectories, batch_size=4, seed=5)]
+        second = [b.trajectory_ids.tolist() for b in TrajectoryLoader(trajectories, batch_size=4, seed=5)]
+        assert first == second
+
+
+class TestTrafficWindowSampler:
+    def test_windows_have_requested_shapes(self, tiny_dataset):
+        sampler = TrafficWindowSampler(tiny_dataset.traffic_states, history=4, horizon=2)
+        window = sampler.window(segment_id=0, start_slice=0)
+        assert window.history.shape[0] == 4
+        assert window.target.shape[0] == 2
+
+    def test_train_and_test_ranges_do_not_overlap(self, tiny_dataset):
+        sampler = TrafficWindowSampler(tiny_dataset.traffic_states, history=4, horizon=2)
+        train_range = sampler.valid_start_range("train")
+        test_range = sampler.valid_start_range("test")
+        assert train_range[1] <= test_range[0]
+
+    def test_unknown_split_raises(self, tiny_dataset):
+        sampler = TrafficWindowSampler(tiny_dataset.traffic_states, history=4, horizon=2)
+        with pytest.raises(ValueError):
+            sampler.valid_start_range("holdout")
+
+    def test_sample_returns_requested_count(self, tiny_dataset):
+        sampler = TrafficWindowSampler(tiny_dataset.traffic_states, history=4, horizon=2)
+        windows = sampler.sample(8, split="train")
+        assert len(windows) == 8
+
+    def test_window_longer_than_axis_raises(self, tiny_dataset):
+        slices = tiny_dataset.traffic_states.num_slices
+        with pytest.raises(ValueError):
+            TrafficWindowSampler(tiny_dataset.traffic_states, history=slices, horizon=slices)
+
+    def test_invalid_history_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            TrafficWindowSampler(tiny_dataset.traffic_states, history=0, horizon=1)

@@ -1,0 +1,194 @@
+"""Tests for the mobility simulator, dataset presets, loaders and map matching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DATASET_PRESETS, DatasetSplits, load_dataset, make_splits
+from repro.data.loader import TrafficWindowSampler, TrajectoryLoader, collate_trajectories
+from repro.data.mapmatch import HMMMapMatcher
+from repro.data.synthetic import SyntheticCity, SyntheticCityConfig
+from repro.data.timeutils import SECONDS_PER_HOUR
+from repro.data.traffic_state import TRAFFIC_CHANNELS
+
+
+class TestSyntheticCity:
+    def test_trajectories_follow_road_connectivity(self, tiny_dataset):
+        network = tiny_dataset.network
+        for trajectory in tiny_dataset.trajectories[:30]:
+            for a, b in zip(trajectory.segments[:-1], trajectory.segments[1:]):
+                assert b in network.successors(a)
+
+    def test_timestamps_strictly_increase(self, tiny_dataset):
+        for trajectory in tiny_dataset.trajectories:
+            assert np.all(np.diff(trajectory.timestamps) > 0)
+
+    def test_each_user_has_trajectories(self, tiny_dataset):
+        users = {t.user_id for t in tiny_dataset.trajectories}
+        assert len(users) >= 6
+
+    def test_trajectories_within_time_axis(self, tiny_dataset):
+        axis = tiny_dataset.time_axis
+        for trajectory in tiny_dataset.trajectories:
+            assert trajectory.end_time < axis.end
+
+    def test_labels_are_binary(self, tiny_dataset):
+        labels = {t.label for t in tiny_dataset.trajectories}
+        assert labels <= {0, 1}
+
+    def test_rush_hour_congestion_slows_traffic(self, tiny_network):
+        config = SyntheticCityConfig(num_users=4, trajectories_per_user=2, num_days=1, seed=1)
+        city = SyntheticCity(tiny_network, config)
+        axis = city.time_axis
+        rush = axis.slice_of(8.5 * SECONDS_PER_HOUR)
+        quiet = axis.slice_of(3.0 * SECONDS_PER_HOUR)
+        traffic = city.generate_traffic_states([])
+        speed = TRAFFIC_CHANNELS.index("speed")
+        assert traffic.values[:, rush, speed].mean() < traffic.values[:, quiet, speed].mean()
+
+    def test_traffic_states_match_network_and_axis(self, tiny_dataset):
+        traffic = tiny_dataset.traffic_states
+        assert traffic.num_segments == tiny_dataset.network.num_segments
+        assert traffic.num_slices == tiny_dataset.time_axis.num_slices
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticCityConfig(num_users=0)
+        with pytest.raises(ValueError):
+            SyntheticCityConfig(commute_probability=1.5)
+
+    def test_reproducible_with_seed(self, tiny_network):
+        config = SyntheticCityConfig(num_users=4, trajectories_per_user=2, num_days=1, seed=42)
+        a = SyntheticCity(tiny_network, config).generate_trajectories()
+        b = SyntheticCity(tiny_network, config).generate_trajectories()
+        assert len(a) == len(b)
+        assert a[0].segments == b[0].segments
+
+
+class TestDatasetPresets:
+    def test_presets_exist(self):
+        assert set(DATASET_PRESETS) == {"bj_like", "xa_like", "cd_like"}
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("nyc_like")
+
+    def test_make_splits_partition(self):
+        splits = make_splits(100, (0.6, 0.2, 0.2), seed=0)
+        assert sum(splits.sizes) == 100
+        assert set(splits.train) | set(splits.validation) | set(splits.test) == set(range(100))
+
+    def test_make_splits_rejects_bad_ratios(self):
+        with pytest.raises(ValueError):
+            make_splits(10, (0.5, 0.2, 0.2))
+
+    def test_splits_reject_overlap(self):
+        with pytest.raises(ValueError):
+            DatasetSplits(train=(0, 1), validation=(1, 2), test=(3,))
+
+    def test_dataset_split_accessors(self, tiny_dataset):
+        assert len(tiny_dataset.train_trajectories) == len(tiny_dataset.splits.train)
+        assert len(tiny_dataset.test_trajectories) == len(tiny_dataset.splits.test)
+
+    def test_summary_fields(self, tiny_dataset):
+        summary = tiny_dataset.summary()
+        assert summary["road_segments"] == tiny_dataset.network.num_segments
+        assert summary["has_dynamic_features"] == 1.0
+
+
+class TestLoaders:
+    def test_collate_pads_and_masks(self, tiny_dataset):
+        batch = collate_trajectories(tiny_dataset.trajectories[:4])
+        assert batch.segments.shape == batch.timestamps.shape == batch.padding_mask.shape
+        for row in range(4):
+            length = batch.lengths[row]
+            assert not batch.padding_mask[row, :length].any()
+            assert batch.padding_mask[row, length:].all()
+
+    def test_collate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            collate_trajectories([])
+
+    def test_loader_covers_all_trajectories(self, tiny_dataset):
+        loader = TrajectoryLoader(tiny_dataset.trajectories, batch_size=7, shuffle=True, seed=0)
+        seen = []
+        for batch in loader:
+            seen.extend(batch.trajectory_ids.tolist())
+        assert sorted(seen) == sorted(t.trajectory_id for t in tiny_dataset.trajectories)
+
+    def test_loader_drop_last(self, tiny_dataset):
+        loader = TrajectoryLoader(tiny_dataset.trajectories, batch_size=7, drop_last=True)
+        assert all(batch.batch_size == 7 for batch in loader)
+
+    def test_loader_len(self, tiny_dataset):
+        loader = TrajectoryLoader(tiny_dataset.trajectories, batch_size=10)
+        assert len(loader) == int(np.ceil(len(tiny_dataset.trajectories) / 10))
+
+    def test_window_sampler_shapes(self, tiny_dataset):
+        sampler = TrafficWindowSampler(tiny_dataset.traffic_states, history=4, horizon=2, seed=0)
+        windows = sampler.sample(5, split="train")
+        for window in windows:
+            assert window.history.shape == (4, len(TRAFFIC_CHANNELS))
+            assert window.target.shape == (2, len(TRAFFIC_CHANNELS))
+
+    def test_window_sampler_temporal_split_disjoint(self, tiny_dataset):
+        sampler = TrafficWindowSampler(tiny_dataset.traffic_states, history=4, horizon=2, seed=0)
+        train_low, train_high = sampler.valid_start_range("train")
+        test_low, test_high = sampler.valid_start_range("test")
+        assert train_high <= test_low + 1
+        assert test_high > test_low
+
+    def test_window_sampler_rejects_long_windows(self, tiny_dataset):
+        slices = tiny_dataset.traffic_states.num_slices
+        with pytest.raises(ValueError):
+            TrafficWindowSampler(tiny_dataset.traffic_states, history=slices, horizon=1)
+
+    def test_window_values_match_source(self, tiny_dataset):
+        sampler = TrafficWindowSampler(tiny_dataset.traffic_states, history=3, horizon=2, seed=0)
+        window = sampler.window(segment_id=1, start_slice=5)
+        assert np.allclose(window.history, tiny_dataset.traffic_states.values[1, 5:8])
+        assert np.allclose(window.target, tiny_dataset.traffic_states.values[1, 8:10])
+
+
+class TestMapMatching:
+    def test_exact_midpoints_recovered(self, tiny_dataset):
+        matcher = HMMMapMatcher(tiny_dataset.network)
+        trajectory = max(tiny_dataset.trajectories, key=len)
+        points = [tiny_dataset.network.segments[s].midpoint for s in trajectory.segments]
+        matched = matcher.match(points)
+        # Bidirectional segments share midpoints, so direction is ambiguous for
+        # the HMM; require the match to be the segment or its reverse twin.
+        hops = [tiny_dataset.network.hop_distance(a, b) for a, b in zip(matched, trajectory.segments)]
+        near = np.mean([(a == b) or (0 <= h <= 1) for (a, b), h in zip(zip(matched, trajectory.segments), hops)])
+        assert near > 0.8
+
+    def test_noisy_points_stay_near_truth(self, tiny_dataset, rng):
+        matcher = HMMMapMatcher(tiny_dataset.network)
+        trajectory = max(tiny_dataset.trajectories, key=len)
+        points = [
+            tuple(np.asarray(tiny_dataset.network.segments[s].midpoint) + rng.normal(0, 0.05, 2))
+            for s in trajectory.segments
+        ]
+        matched = matcher.match(points)
+        hops = [tiny_dataset.network.hop_distance(a, b) for a, b in zip(matched, trajectory.segments)]
+        assert np.mean([0 <= h <= 2 for h in hops]) > 0.7
+
+    def test_empty_input(self, tiny_dataset):
+        assert HMMMapMatcher(tiny_dataset.network).match([]) == []
+
+    def test_interpolation_counts(self, tiny_dataset):
+        matcher = HMMMapMatcher(tiny_dataset.network)
+        positions = matcher.interpolate_positions([0, 5], [3], mode="linear")
+        assert len(positions) == 5
+
+    def test_interpolation_mode_validation(self, tiny_dataset):
+        matcher = HMMMapMatcher(tiny_dataset.network)
+        with pytest.raises(ValueError):
+            matcher.interpolate_positions([0, 1], [1], mode="spline")
+        with pytest.raises(ValueError):
+            matcher.interpolate_positions([0, 1], [1, 2])
+
+    def test_invalid_parameters(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            HMMMapMatcher(tiny_dataset.network, emission_sigma_km=0.0)

@@ -1,0 +1,200 @@
+"""Tests for temporal elements, trajectories and traffic states."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.timeutils import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    TIMESTAMP_FEATURE_DIM,
+    TimeAxis,
+    timestamp_features,
+    timestamp_features_batch,
+)
+from repro.data.traffic_state import TRAFFIC_CHANNELS, TrafficStateSeries
+from repro.data.trajectory import Trajectory, subsample_trajectory
+
+
+class TestTimestampFeatures:
+    def test_dimension(self):
+        assert timestamp_features(0.0).shape == (TIMESTAMP_FEATURE_DIM,)
+
+    def test_midnight_values(self):
+        features = timestamp_features(0.0)
+        assert features[0] == pytest.approx(0.0)  # fraction of the day
+        assert features[2] == pytest.approx(1.0)  # cos(0)
+
+    def test_weekend_flag(self):
+        saturday = 5 * SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR
+        tuesday = 1 * SECONDS_PER_DAY + 10 * SECONDS_PER_HOUR
+        assert timestamp_features(saturday)[5] == 1.0
+        assert timestamp_features(tuesday)[5] == 0.0
+
+    def test_daily_periodicity(self):
+        morning = 9 * SECONDS_PER_HOUR
+        next_day = morning + SECONDS_PER_DAY
+        a, b = timestamp_features(morning), timestamp_features(next_day)
+        assert np.allclose(a[:3], b[:3])
+
+    def test_batch_matches_single(self):
+        times = [0.0, 3600.0, 7200.0]
+        batch = timestamp_features_batch(times)
+        assert np.allclose(batch[1], timestamp_features(3600.0))
+
+    @given(st.floats(min_value=0, max_value=7 * SECONDS_PER_DAY, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_features_bounded(self, timestamp):
+        features = timestamp_features(timestamp)
+        assert np.all(features <= 1.0 + 1e-9) and np.all(features >= -1.0 - 1e-9)
+
+
+class TestTimeAxis:
+    def test_slice_of_and_start_are_inverse(self):
+        axis = TimeAxis(num_slices=48, slice_seconds=1800.0)
+        for index in (0, 10, 47):
+            assert axis.slice_of(axis.slice_start(index)) == index
+
+    def test_slice_of_clamps_out_of_range(self):
+        axis = TimeAxis(num_slices=10)
+        assert axis.slice_of(-100.0) == 0
+        assert axis.slice_of(1e9) == 9
+
+    def test_slice_start_out_of_range_raises(self):
+        axis = TimeAxis(num_slices=10)
+        with pytest.raises(IndexError):
+            axis.slice_start(10)
+
+    def test_total_seconds_and_contains(self):
+        axis = TimeAxis(num_slices=4, slice_seconds=100.0, origin=50.0)
+        assert axis.total_seconds == 400.0
+        assert axis.contains(51.0) and not axis.contains(451.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TimeAxis(num_slices=0)
+        with pytest.raises(ValueError):
+            TimeAxis(num_slices=5, slice_seconds=0.0)
+
+    def test_all_slice_features_shape(self):
+        axis = TimeAxis(num_slices=6)
+        assert axis.all_slice_features().shape == (6, TIMESTAMP_FEATURE_DIM)
+
+
+class TestTrajectory:
+    def _make(self, length=5):
+        return Trajectory(0, 7, list(range(length)), [i * 30.0 for i in range(length)], label=1)
+
+    def test_basic_properties(self):
+        trajectory = self._make()
+        assert len(trajectory) == 5
+        assert trajectory.origin == 0 and trajectory.destination == 4
+        assert trajectory.duration == pytest.approx(120.0)
+
+    def test_travel_intervals(self):
+        assert np.allclose(self._make().travel_intervals(), 30.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(0, 0, [1, 2], [0.0])
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(0, 0, [1, 2], [10.0, 5.0])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(0, 0, [1], [0.0])
+
+    def test_slice_preserves_metadata(self):
+        trajectory = self._make()
+        part = trajectory.slice(1, 4)
+        assert part.segments == [1, 2, 3]
+        assert part.user_id == 7 and part.label == 1
+
+    def test_dict_roundtrip(self):
+        trajectory = self._make()
+        restored = Trajectory.from_dict(trajectory.to_dict())
+        assert restored.segments == trajectory.segments
+        assert restored.timestamps == trajectory.timestamps
+
+    def test_subsample_keeps_endpoints_and_ratio(self, rng):
+        trajectory = self._make(length=20)
+        sparse, kept = subsample_trajectory(trajectory, keep_ratio=0.3, rng=rng)
+        assert kept[0] == 0 and kept[-1] == 19
+        assert len(sparse) == len(kept)
+        assert 2 <= len(kept) <= 8
+
+    def test_subsample_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            subsample_trajectory(self._make(), keep_ratio=0.0)
+
+    @given(st.integers(min_value=6, max_value=30), st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_subsample_indices_sorted_and_unique(self, length, keep_ratio):
+        trajectory = Trajectory(0, 0, list(range(length)), [float(i) for i in range(length)])
+        _, kept = subsample_trajectory(trajectory, keep_ratio, rng=np.random.default_rng(length))
+        assert np.all(np.diff(kept) > 0)
+        assert kept[0] == 0 and kept[-1] == length - 1
+
+
+class TestTrafficState:
+    def _make(self, segments=4, slices=10):
+        axis = TimeAxis(num_slices=slices)
+        values = np.random.default_rng(0).random((segments, slices, len(TRAFFIC_CHANNELS)))
+        return TrafficStateSeries(values, axis)
+
+    def test_shape_validation(self):
+        axis = TimeAxis(num_slices=5)
+        with pytest.raises(ValueError):
+            TrafficStateSeries(np.zeros((3, 4, 3)), axis)
+        with pytest.raises(ValueError):
+            TrafficStateSeries(np.zeros((3, 5)), axis)
+
+    def test_at_uses_containing_slice(self):
+        series = self._make()
+        timestamp = series.time_axis.slice_start(3) + 10.0
+        assert np.allclose(series.at(1, timestamp), series.values[1, 3])
+
+    def test_window_zero_pads_before_origin(self):
+        series = self._make()
+        window = series.window(0, slice_index=1, history=3)
+        assert window.shape == (4 * len(TRAFFIC_CHANNELS),)
+        assert np.allclose(window[: 2 * len(TRAFFIC_CHANNELS)], 0.0)
+
+    def test_normalised_has_zero_mean_unit_std(self):
+        series = self._make(segments=6, slices=20)
+        normalised, mean, std = series.normalised()
+        flat = normalised.values.reshape(-1, series.num_channels)
+        assert np.allclose(flat.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(flat.std(axis=0), 1.0, atol=1e-9)
+
+    def test_from_trajectories_counts_flows(self):
+        axis = TimeAxis(num_slices=4, slice_seconds=100.0)
+        trajectory = Trajectory(0, 0, [0, 1, 2], [0.0, 50.0, 150.0])
+        series = TrafficStateSeries.from_trajectories([trajectory], num_segments=3, time_axis=axis)
+        inflow = series.channel_index("inflow")
+        outflow = series.channel_index("outflow")
+        assert series.values[0, 0, inflow] == 1.0
+        assert series.values[1, 0, inflow] == 1.0
+        assert series.values[0, 0, outflow] == 1.0  # left segment 0 within slice 0
+        assert series.values[1, 1, outflow] == 1.0  # left segment 1 during slice 1
+
+    def test_from_trajectories_speed_uses_lengths(self):
+        axis = TimeAxis(num_slices=2, slice_seconds=1000.0)
+        trajectory = Trajectory(0, 0, [0, 1], [0.0, 100.0])
+        lengths = np.array([1.0, 1.0])  # km
+        series = TrafficStateSeries.from_trajectories(
+            [trajectory], num_segments=2, time_axis=axis, segment_lengths=lengths
+        )
+        speed = series.channel_index("speed")
+        assert series.values[0, 0, speed] == pytest.approx(36.0)  # 1km in 100s = 36 km/h
+
+    def test_copy_is_independent(self):
+        series = self._make()
+        clone = series.copy()
+        clone.values[0, 0, 0] = 123.0
+        assert series.values[0, 0, 0] != 123.0

@@ -1,0 +1,53 @@
+"""Smoke tests for the experiment runners (tiny profile, single baseline).
+
+The full regeneration of every table/figure lives in ``benchmarks/``; these
+tests only verify that the runners execute end to end and produce tables of
+the right structure, using the ``smoke`` profile and a minimal baseline set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import (
+    BIGCITY_NAME,
+    run_table2_dataset_statistics,
+    run_table3_trajectory_tasks,
+    run_table4_recovery,
+    run_table5_traffic_state,
+)
+from repro.eval.harness import SMOKE_PROFILE, ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def smoke_context():
+    return ExperimentContext(SMOKE_PROFILE)
+
+
+class TestExperimentRunners:
+    def test_table2_lists_all_datasets(self, smoke_context):
+        table = run_table2_dataset_statistics(smoke_context, dataset_names=("xa_like",))
+        assert "xa_like" in table.rows
+        assert table.rows["xa_like"]["road_segments"] > 0
+
+    def test_table3_structure(self, smoke_context):
+        tables = run_table3_trajectory_tasks(smoke_context, "xa_like", baselines=["traj2vec"])
+        assert set(tables) == {"travel_time", "classification", "next_hop", "similarity"}
+        for table in tables.values():
+            assert set(table.rows) == {"traj2vec", BIGCITY_NAME}
+            for row in table.rows.values():
+                assert all(np.isfinite(value) for value in row.values())
+
+    def test_table4_structure(self, smoke_context):
+        table = run_table4_recovery(smoke_context, "xa_like", mask_ratios=(0.85,), baselines=["linear_hmm"])
+        assert set(table.rows) == {"linear_hmm", BIGCITY_NAME}
+        assert "acc@85" in table.rows[BIGCITY_NAME]
+
+    def test_table5_structure(self, smoke_context):
+        tables = run_table5_traffic_state(smoke_context, "xa_like", baselines=["dcrnn"])
+        assert set(tables) == {"one_step", "multi_step", "imputation"}
+        for table in tables.values():
+            assert set(table.rows) == {"dcrnn", BIGCITY_NAME}
+            for row in table.rows.values():
+                assert row["mae"] >= 0

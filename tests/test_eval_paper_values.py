@@ -1,0 +1,74 @@
+"""Tests for the transcribed paper reference values (`repro.eval.paper_values`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.recovery import RECOVERY_BASELINES
+from repro.baselines.traffic import TRAFFIC_BASELINES
+from repro.baselines.trajectory import TRAJECTORY_BASELINES
+from repro.eval.paper_values import PAPER_REFERENCES, get_reference
+from repro.eval.report import PaperReference
+
+
+class TestReferenceCatalogue:
+    def test_every_reference_is_well_formed(self):
+        for key, reference in PAPER_REFERENCES.items():
+            assert isinstance(reference, PaperReference)
+            assert reference.artefact
+            assert reference.values, f"{key} has no values"
+            for model, row in reference.values.items():
+                assert row, f"{key}/{model} has no metrics"
+                assert all(isinstance(v, (int, float)) for v in row.values())
+
+    def test_bigcity_present_in_every_model_comparison(self):
+        for key, reference in PAPER_REFERENCES.items():
+            if key == "table6_generalization":
+                continue
+            assert "bigcity" in reference.values, f"{key} is missing the bigcity row"
+
+    def test_model_keys_match_the_baseline_registries(self):
+        known = set(TRAJECTORY_BASELINES) | set(TRAFFIC_BASELINES) | set(RECOVERY_BASELINES) | {"bigcity"}
+        for key, reference in PAPER_REFERENCES.items():
+            if key == "table6_generalization":
+                continue
+            unknown = set(reference.values) - known
+            assert not unknown, f"{key} references unknown models: {unknown}"
+
+    def test_get_reference_round_trip_and_error(self):
+        assert get_reference("table3_next_hop").artefact.startswith("Table III")
+        with pytest.raises(KeyError):
+            get_reference("table42")
+
+
+class TestPaperShapes:
+    """The transcribed numbers encode the paper's headline claims."""
+
+    def test_bigcity_wins_travel_time(self):
+        reference = get_reference("table3_travel_time")
+        assert reference.best_by("mae", higher_is_better=False) == "bigcity"
+
+    def test_bigcity_wins_next_hop(self):
+        reference = get_reference("table3_next_hop")
+        assert reference.best_by("acc", higher_is_better=True) == "bigcity"
+
+    def test_bigcity_wins_recovery_at_every_mask_ratio(self):
+        reference = get_reference("table4_recovery")
+        for metric in ("acc@85", "acc@90", "acc@95"):
+            assert reference.best_by(metric, higher_is_better=True) == "bigcity"
+
+    def test_bigcity_wins_traffic_tasks(self):
+        for key in ("table5_one_step", "table5_multi_step", "table5_imputation"):
+            assert get_reference(key).best_by("mae", higher_is_better=False) == "bigcity"
+
+    def test_transfer_degradation_is_small(self):
+        reference = get_reference("table6_generalization")
+        native = reference.values["xa_like/native"]
+        transferred = reference.values["xa_like/transferred"]
+        assert transferred["tte_mae"] <= native["tte_mae"] * 1.07
+        assert transferred["next_acc"] >= native["next_acc"] * 0.93
+
+    def test_recovery_accuracy_degrades_with_mask_ratio(self):
+        reference = get_reference("table4_recovery")
+        for row in reference.values.values():
+            assert row["acc@85"] >= row["acc@90"] >= row["acc@95"]

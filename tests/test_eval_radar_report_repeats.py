@@ -1,0 +1,183 @@
+"""Tests for the evaluation utilities: radar rendering, reports, repeated runs."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.radar import radar_from_table, render_radar
+from repro.eval.repeats import AggregatedTable, aggregate_tables, repeat_experiment
+from repro.eval.report import PaperReference, ReproductionReport
+from repro.eval.results import ResultTable
+
+
+def _table(title="Table X", rows=None, higher=None) -> ResultTable:
+    table = ResultTable(title=title, higher_is_better=higher or {"acc": True, "mae": False})
+    for model, metrics in (rows or {"a": {"acc": 0.8, "mae": 1.2}, "b": {"acc": 0.6, "mae": 1.0}}).items():
+        table.add_row(model, metrics)
+    return table
+
+
+class TestRenderRadar:
+    def test_one_line_per_axis(self):
+        text = render_radar({"tte": 1.1, "next_hop": 0.4}, width=20, title="radar")
+        lines = text.splitlines()
+        assert any(line.startswith("radar") for line in lines)
+        assert sum(1 for line in lines if "[" in line and "]" in line) == 2
+
+    def test_values_above_reference_are_marked(self):
+        text = render_radar({"winning": 1.4, "losing": 0.2}, width=20)
+        winning_line = next(line for line in text.splitlines() if line.strip().startswith("winning"))
+        losing_line = next(line for line in text.splitlines() if line.strip().startswith("losing"))
+        assert ">1x" in winning_line
+        assert ">1x" not in losing_line
+
+    def test_parity_tick_present(self):
+        text = render_radar({"axis": 0.5}, width=30)
+        assert "|" in text
+
+    def test_empty_axes_raise(self):
+        with pytest.raises(ValueError):
+            render_radar({})
+
+    def test_bad_width_raises(self):
+        with pytest.raises(ValueError):
+            render_radar({"a": 1.0}, width=4)
+
+    def test_bad_reference_raises(self):
+        with pytest.raises(ValueError):
+            render_radar({"a": 1.0}, reference=0.0)
+
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_never_crashes_on_non_negative_values(self, values):
+        axes = {f"axis{i}": value for i, value in enumerate(values)}
+        text = render_radar(axes, width=24)
+        assert len(text.splitlines()) >= len(axes)
+
+    def test_radar_from_table(self):
+        table = ResultTable(title="Figure 1")
+        table.add_row("bigcity", {"tte": 1.0, "next": 0.5})
+        text = radar_from_table(table, model="bigcity", width=20)
+        assert "tte" in text and "next" in text
+
+    def test_radar_from_table_unknown_model(self):
+        table = ResultTable(title="Figure 1")
+        table.add_row("bigcity", {"tte": 1.0})
+        with pytest.raises(KeyError):
+            radar_from_table(table, model="missing")
+
+
+class TestAggregateTables:
+    def test_mean_and_std(self):
+        runs = [
+            _table(rows={"a": {"acc": 0.8}, "b": {"acc": 0.6}}),
+            _table(rows={"a": {"acc": 0.6}, "b": {"acc": 0.4}}),
+        ]
+        aggregated = aggregate_tables(runs)
+        assert aggregated.num_runs == 2
+        mean_a, std_a = aggregated.cell("a", "acc")
+        assert mean_a == pytest.approx(0.7)
+        assert std_a == pytest.approx(0.1)
+
+    def test_missing_cells_use_available_runs(self):
+        runs = [
+            _table(rows={"a": {"acc": 0.8}}),
+            _table(rows={"a": {"acc": 0.6}, "b": {"acc": 0.4}}),
+        ]
+        aggregated = aggregate_tables(runs)
+        mean_b, _ = aggregated.cell("b", "acc")
+        assert mean_b == pytest.approx(0.4)
+
+    def test_absent_cell_returns_none(self):
+        aggregated = aggregate_tables([_table()])
+        assert aggregated.cell("missing", "acc") == (None, None)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_tables([])
+
+    def test_to_text_contains_plus_minus(self):
+        aggregated = aggregate_tables([_table(), _table()])
+        text = aggregated.to_text()
+        assert "±" in text
+        assert "mean ± std over 2 runs" in text
+
+    def test_repeat_experiment(self):
+        def experiment(seed: int) -> ResultTable:
+            table = ResultTable(title="toy")
+            table.add_row("model", {"value": float(seed)})
+            return table
+
+        aggregated = repeat_experiment(experiment, seeds=(1, 2, 3))
+        mean, std = aggregated.cell("model", "value")
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_repeat_experiment_requires_seeds(self):
+        with pytest.raises(ValueError):
+            repeat_experiment(lambda seed: _table(), seeds=())
+
+
+class TestReproductionReport:
+    def test_markdown_contains_measured_and_reference(self):
+        report = ReproductionReport()
+        measured = _table(title="Table III")
+        reference = PaperReference(
+            artefact="Table III",
+            values={"a": {"acc": 0.85, "mae": 1.7}, "b": {"acc": 0.83, "mae": 1.8}},
+            note="XA dataset",
+        )
+        report.add_table("Table III", measured, reference, commentary="trajectory tasks")
+        markdown = report.to_markdown()
+        assert "## Table III" in markdown
+        assert "### Measured" in markdown
+        assert "### Paper" in markdown
+        assert "trajectory tasks" in markdown
+        assert "XA dataset" in markdown
+
+    def test_shape_agreement_detects_matching_winner(self):
+        report = ReproductionReport()
+        measured = _table(rows={"a": {"acc": 0.9}, "b": {"acc": 0.5}}, higher={"acc": True})
+        agree_ref = PaperReference("T", values={"a": {"acc": 0.8}, "b": {"acc": 0.7}})
+        report.add_table("T-agree", measured, agree_ref)
+        disagree_ref = PaperReference("T", values={"a": {"acc": 0.6}, "b": {"acc": 0.7}})
+        report.add_table("T-disagree", measured, disagree_ref)
+        agreement = report.shape_agreement()
+        assert agreement["T-agree"] is True
+        assert agreement["T-disagree"] is False
+
+    def test_sections_without_reference_are_skipped_in_agreement(self):
+        report = ReproductionReport()
+        report.add_table("T", _table())
+        assert report.shape_agreement() == {}
+        assert len(report) == 1
+
+    def test_empty_artefact_raises(self):
+        report = ReproductionReport()
+        with pytest.raises(ValueError):
+            report.add_table("", _table())
+
+    def test_save_writes_markdown_and_json(self, tmp_path):
+        report = ReproductionReport(title="run report")
+        report.add_table("Table II", _table(title="Table II"))
+        path = report.save(tmp_path / "report.md")
+        assert path.exists()
+        sidecar = path.with_suffix(".json")
+        assert sidecar.exists()
+        payload = json.loads(sidecar.read_text())
+        assert payload["title"] == "run report"
+        assert payload["sections"][0]["artefact"] == "Table II"
+
+    def test_missing_metrics_render_as_dash(self):
+        report = ReproductionReport()
+        table = ResultTable(title="sparse")
+        table.add_row("a", {"acc": 0.5})
+        table.add_row("b", {"mae": 1.0})
+        report.add_table("sparse", table)
+        markdown = report.to_markdown()
+        assert "| -" in markdown

@@ -1,0 +1,125 @@
+"""Tests for result tables, benchmark profiles and the experiment registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    SMOKE_PROFILE,
+    BenchmarkProfile,
+    ExperimentContext,
+    get_profile,
+)
+from repro.eval.registry import EXPERIMENTS, get_experiment
+from repro.eval.results import ResultTable
+
+
+class TestResultTable:
+    def _table(self):
+        table = ResultTable(title="demo", higher_is_better={"acc": True, "mae": False})
+        table.add_row("model_a", {"acc": 0.8, "mae": 2.0})
+        table.add_row("model_b", {"acc": 0.6, "mae": 1.0})
+        return table
+
+    def test_metric_names_preserve_insertion_order(self):
+        assert self._table().metric_names == ["acc", "mae"]
+
+    def test_best_by_respects_direction(self):
+        table = self._table()
+        assert table.best_by("acc") == "model_a"
+        assert table.best_by("mae") == "model_b"
+
+    def test_best_by_missing_metric(self):
+        assert self._table().best_by("rmse") is None
+
+    def test_rank_of(self):
+        table = self._table()
+        assert table.rank_of("model_a", "acc") == 1
+        assert table.rank_of("model_a", "mae") == 2
+        assert table.rank_of("model_c", "acc") is None
+
+    def test_winners_per_metric(self):
+        winners = self._table().winners()
+        assert winners == {"acc": "model_a", "mae": "model_b"}
+
+    def test_add_row_extends_existing_model(self):
+        table = self._table()
+        table.add_row("model_a", {"rmse": 3.0})
+        assert table.value("model_a", "rmse") == 3.0
+        assert table.value("model_a", "acc") == 0.8
+
+    def test_to_text_contains_rows_and_best_line(self):
+        text = self._table().to_text()
+        assert "model_a" in text and "model_b" in text
+        assert "best" in text
+
+    def test_to_dict_and_json(self):
+        payload = self._table().to_dict()
+        assert payload["rows"]["model_a"]["acc"] == 0.8
+        assert "winners" in payload
+        assert "model_a" in self._table().to_json()
+
+    def test_missing_values_render_as_dash(self):
+        table = ResultTable(title="sparse")
+        table.add_row("a", {"x": 1.0})
+        table.add_row("b", {"y": 2.0})
+        assert "-" in table.to_text()
+
+
+class TestProfiles:
+    def test_named_profiles_resolve(self):
+        assert get_profile("quick") is QUICK_PROFILE
+        assert get_profile("full") is FULL_PROFILE
+        assert get_profile("smoke") is SMOKE_PROFILE
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            get_profile("turbo")
+
+    def test_env_variable_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "smoke")
+        assert get_profile() is SMOKE_PROFILE
+
+    def test_full_profile_trains_longer_than_quick(self):
+        assert FULL_PROFILE.stage2_epochs > QUICK_PROFILE.stage2_epochs
+        assert FULL_PROFILE.max_eval_samples >= QUICK_PROFILE.max_eval_samples
+
+    def test_baseline_name_defaults_cover_registries(self):
+        assert len(QUICK_PROFILE.trajectory_baseline_names()) == 7
+        assert len(QUICK_PROFILE.traffic_baseline_names()) == 7
+        assert len(QUICK_PROFILE.recovery_baseline_names()) == 4
+        assert set(SMOKE_PROFILE.trajectory_baseline_names()) == {"traj2vec", "start"}
+
+    def test_profile_builds_configs(self):
+        config = SMOKE_PROFILE.bigcity_config(lora_rank=4)
+        assert config.lora_rank == 4
+        training = SMOKE_PROFILE.training_config(stage2_epochs=1)
+        assert training.stage2_epochs == 1
+
+    def test_context_caches_datasets(self):
+        context = ExperimentContext(SMOKE_PROFILE)
+        assert context.dataset("xa_like") is context.dataset("xa_like")
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        expected = {"table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9", "fig1", "fig5", "fig6"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_specs_point_to_existing_benchmarks(self):
+        import pathlib
+
+        for spec in EXPERIMENTS.values():
+            assert spec.benchmark_target.startswith("benchmarks/")
+            assert spec.description
+
+    def test_get_experiment(self):
+        assert get_experiment("table3").paper_reference == "Table III"
+        with pytest.raises(KeyError):
+            get_experiment("table42")
+
+    def test_runners_are_callable(self):
+        assert all(callable(spec.runner) for spec in EXPERIMENTS.values())

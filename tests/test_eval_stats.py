@@ -1,0 +1,111 @@
+"""Tests for the significance-testing helpers (`repro.eval.stats`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.stats import (
+    ComparisonResult,
+    bootstrap_difference,
+    compare_models,
+    paired_t_test,
+    wilcoxon_test,
+)
+
+
+def _scores(offset: float, size: int = 30, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=size)
+    return base + offset, base
+
+
+class TestPairedTests:
+    def test_clear_difference_is_significant(self):
+        better, worse = _scores(offset=1.0)
+        _, p_value = paired_t_test(better, worse)
+        assert p_value < 0.01
+        _, wilcoxon_p = wilcoxon_test(better, worse)
+        assert wilcoxon_p < 0.01
+
+    def test_identical_scores_are_not_significant(self):
+        scores = np.arange(10.0)
+        assert paired_t_test(scores, scores) == (0.0, 1.0)
+        assert wilcoxon_test(scores, scores) == (0.0, 1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+    def test_too_few_samples_raise(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [2.0])
+
+    def test_symmetry_of_t_statistic(self):
+        a, b = _scores(offset=0.5)
+        stat_ab, p_ab = paired_t_test(a, b)
+        stat_ba, p_ba = paired_t_test(b, a)
+        assert stat_ab == pytest.approx(-stat_ba)
+        assert p_ab == pytest.approx(p_ba)
+
+
+class TestBootstrap:
+    def test_interval_contains_true_shift(self):
+        better, worse = _scores(offset=0.8, size=60)
+        mean_diff, (low, high) = bootstrap_difference(better, worse, seed=1)
+        assert mean_diff == pytest.approx(0.8)
+        assert low <= 0.8 + 1e-9
+        assert high >= 0.8 - 1e-9
+
+    def test_interval_excludes_zero_for_clear_difference(self):
+        better, worse = _scores(offset=2.0, size=60)
+        _, (low, high) = bootstrap_difference(better, worse, seed=2)
+        assert low > 0.0
+
+    def test_deterministic_given_seed(self):
+        a, b = _scores(offset=0.3)
+        assert bootstrap_difference(a, b, seed=5) == bootstrap_difference(a, b, seed=5)
+
+    def test_invalid_confidence_raises(self):
+        a, b = _scores(offset=0.1)
+        with pytest.raises(ValueError):
+            bootstrap_difference(a, b, confidence=1.5)
+
+    def test_invalid_resamples_raise(self):
+        a, b = _scores(offset=0.1)
+        with pytest.raises(ValueError):
+            bootstrap_difference(a, b, num_resamples=0)
+
+
+class TestCompareModels:
+    def test_full_summary(self):
+        bigcity, baseline = _scores(offset=0.5, size=40)
+        result = compare_models(bigcity, baseline, model_a="bigcity", model_b="start", metric="acc")
+        assert isinstance(result, ComparisonResult)
+        assert result.winner == "bigcity"
+        assert result.significant()
+        assert result.mean_difference == pytest.approx(0.5)
+        assert set(result.to_dict()) >= {"mean_a", "t_p_value", "ci_low", "ci_high"}
+
+    def test_lower_is_better_flips_winner(self):
+        higher, lower = _scores(offset=0.5)
+        result = compare_models(higher, lower, model_a="a", model_b="b", higher_is_better=False)
+        assert result.winner == "b"
+
+    def test_tie_goes_to_first_model(self):
+        scores = np.linspace(0, 1, 20)
+        result = compare_models(scores, scores, model_a="first", model_b="second")
+        assert result.winner == "first"
+        assert not result.significant()
+
+    @given(offset=st.floats(min_value=-2.0, max_value=2.0), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_winner_matches_means(self, offset, seed):
+        a, b = _scores(offset=offset, seed=seed)
+        result = compare_models(a, b, model_a="a", model_b="b")
+        if result.mean_a >= result.mean_b:
+            assert result.winner == "a"
+        else:
+            assert result.winner == "b"

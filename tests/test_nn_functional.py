@@ -1,0 +1,86 @@
+"""Tests for repro.nn.functional helpers and initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+
+
+class TestMasks:
+    def test_causal_mask_upper_triangle(self):
+        mask = F.causal_mask(4)
+        assert mask.shape == (4, 4)
+        assert not mask[2, 1] and mask[1, 2]
+        assert not mask.diagonal().any()
+
+    def test_padding_mask_from_lengths(self):
+        mask = F.padding_mask([2, 4], max_length=4)
+        assert mask.tolist() == [[False, False, True, True], [False, False, False, False]]
+
+    def test_padding_mask_defaults_to_max_length(self):
+        assert F.padding_mask([1, 3]).shape == (2, 3)
+
+    def test_one_hot(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+
+class TestPoolingAndSimilarity:
+    def test_masked_mean_ignores_padding(self):
+        x = Tensor(np.array([[[1.0], [100.0]], [[2.0], [4.0]]]))
+        mask = np.array([[False, True], [False, False]])
+        pooled = F.masked_mean(x, mask, axis=1).data
+        assert np.allclose(pooled, [[1.0], [3.0]])
+
+    def test_cosine_similarity_identical_vectors(self):
+        a = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        assert F.cosine_similarity(a, a).data[0] == pytest.approx(1.0)
+
+    def test_cosine_similarity_orthogonal(self):
+        a = Tensor(np.array([[1.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 1.0]]))
+        assert F.cosine_similarity(a, b).data[0] == pytest.approx(0.0)
+
+    def test_pairwise_cosine_similarity_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        sims = F.pairwise_cosine_similarity(rng.standard_normal((4, 8)), rng.standard_normal((6, 8)))
+        assert sims.shape == (4, 6)
+        assert np.all(sims <= 1.0 + 1e-9) and np.all(sims >= -1.0 - 1e-9)
+
+    def test_linear_functional_matches_layer_convention(self):
+        x = Tensor(np.ones((2, 3)))
+        weight = Tensor(np.ones((4, 3)))
+        bias = Tensor(np.ones(4))
+        assert np.allclose(F.linear(x, weight, bias).data, 4.0)
+
+
+class TestInitialisers:
+    @pytest.mark.parametrize("fn", [init.xavier_uniform, init.xavier_normal, init.kaiming_uniform])
+    def test_shapes(self, fn):
+        assert fn((5, 7)).shape == (5, 7)
+
+    def test_xavier_uniform_bounds(self):
+        values = init.xavier_uniform((100, 100), rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(values) <= limit + 1e-12)
+
+    def test_normal_std(self):
+        values = init.normal((200, 200), std=0.02, rng=np.random.default_rng(0))
+        assert values.std() == pytest.approx(0.02, rel=0.1)
+
+    def test_zeros_and_ones(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)
+        assert np.all(init.ones((3,)) == 1.0)
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_xavier_variance_scales_with_fan(self, fan_in, fan_out):
+        values = init.xavier_normal((fan_out, fan_in), rng=np.random.default_rng(fan_in * 100 + fan_out))
+        expected_std = np.sqrt(2.0 / (fan_in + fan_out))
+        assert values.std() < 4 * expected_std + 1e-6

@@ -1,0 +1,155 @@
+"""Tests for Module/Parameter containers and serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MLP, Sequential, ModuleList, save_state_dict, load_state_dict
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class _ToyModule(Module):
+    def __init__(self):
+        super().__init__()
+        self.linear = Linear(3, 2, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.ones(2))
+        self.register_buffer("running_mean", np.zeros(2))
+
+    def forward(self, x):
+        return self.linear(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_are_collected_recursively(self):
+        module = _ToyModule()
+        names = dict(module.named_parameters())
+        assert "scale" in names
+        assert "linear.weight" in names and "linear.bias" in names
+
+    def test_num_parameters_counts_elements(self):
+        module = _ToyModule()
+        assert module.num_parameters() == 3 * 2 + 2 + 2
+
+    def test_buffers_included_in_state_dict_but_not_parameters(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        assert "running_mean" in state
+        assert all(name != "running_mean" for name, _ in module.named_parameters())
+
+    def test_named_modules_walks_tree(self):
+        module = Sequential(Linear(2, 2), Linear(2, 2))
+        names = [name for name, _ in module.named_modules()]
+        assert "0" in names and "1" in names
+
+    def test_children_returns_direct_submodules(self):
+        module = _ToyModule()
+        assert len(list(module.children())) == 1
+
+
+class TestStateDict:
+    def test_roundtrip_restores_values(self):
+        source = _ToyModule()
+        target = _ToyModule()
+        source.scale.data = np.array([5.0, 7.0])
+        target.load_state_dict(source.state_dict())
+        assert np.allclose(target.scale.data, [5.0, 7.0])
+
+    def test_strict_load_rejects_missing_keys(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state.pop("scale")
+        with pytest.raises(KeyError):
+            module.load_state_dict(state)
+
+    def test_non_strict_load_ignores_missing_keys(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state.pop("scale")
+        module.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        module = _ToyModule()
+        state = module.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            module.load_state_dict(state)
+
+    def test_save_and_load_npz(self, tmp_path):
+        source = _ToyModule()
+        source.scale.data = np.array([3.0, 4.0])
+        path = tmp_path / "toy.npz"
+        save_state_dict(source, path, metadata={"note": "test"})
+        target = _ToyModule()
+        metadata = load_state_dict(target, path)
+        assert metadata == {"note": "test"}
+        assert np.allclose(target.scale.data, [3.0, 4.0])
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_dict(_ToyModule(), tmp_path / "absent.npz")
+
+
+class TestModesAndFreezing:
+    def test_train_eval_propagates(self):
+        module = Sequential(Linear(2, 2), Linear(2, 2))
+        module.eval()
+        assert all(not m.training for m in module.modules())
+        module.train()
+        assert all(m.training for m in module.modules())
+
+    def test_freeze_and_unfreeze(self):
+        module = _ToyModule()
+        module.freeze()
+        assert all(not p.requires_grad for p in module.parameters())
+        module.unfreeze()
+        assert all(p.requires_grad for p in module.parameters())
+
+    def test_zero_grad_clears_gradients(self):
+        module = _ToyModule()
+        out = module(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in module.parameters())
+        module.zero_grad()
+        assert all(p.grad is None for p in module.parameters())
+
+    def test_trainable_parameters_respects_requires_grad(self):
+        module = _ToyModule()
+        module.linear.freeze()
+        trainable = module.trainable_parameters()
+        assert all(p.requires_grad for p in trainable)
+        assert len(trainable) == 1  # only `scale`
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        first = Linear(2, 2, rng=np.random.default_rng(0))
+        second = Linear(2, 2, rng=np.random.default_rng(1))
+        chained = Sequential(first, second)
+        x = Tensor(np.ones((1, 2)))
+        assert np.allclose(chained(x).data, second(first(x)).data)
+
+    def test_sequential_indexing_and_len(self):
+        chained = Sequential(Linear(2, 2), Linear(2, 2))
+        assert len(chained) == 2
+        assert isinstance(chained[0], Linear)
+
+    def test_module_list_append_and_iterate(self):
+        items = ModuleList([Linear(2, 2)])
+        items.append(Linear(2, 3))
+        assert len(items) == 2
+        assert [m.out_features for m in items] == [2, 3]
+
+    def test_module_list_is_not_callable(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([Linear(2, 2)])(None)
+
+    def test_mlp_is_registered_in_parent(self):
+        class Parent(Module):
+            def __init__(self):
+                super().__init__()
+                self.mlp = MLP(4, [8], 2)
+
+        parent = Parent()
+        assert parent.num_parameters() == parent.mlp.num_parameters()

@@ -1,0 +1,153 @@
+"""Tests for the temporal convolutional network layers (`repro.nn.tcn`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tcn import CausalConv1d, TemporalBlock, TemporalConvNet
+from repro.nn.tensor import Tensor
+
+
+def _sequence(batch: int, length: int, channels: int, seed: int = 0) -> Tensor:
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=(batch, length, channels)))
+
+
+class TestCausalConv1d:
+    def test_output_shape(self):
+        conv = CausalConv1d(4, 6, kernel_size=3, dilation=2, rng=np.random.default_rng(0))
+        out = conv(_sequence(2, 10, 4))
+        assert out.shape == (2, 10, 6)
+
+    def test_causality(self):
+        """Changing a future input step never changes earlier outputs."""
+        rng = np.random.default_rng(1)
+        conv = CausalConv1d(3, 3, kernel_size=2, dilation=1, rng=rng)
+        base = np.random.default_rng(2).normal(size=(1, 8, 3))
+        modified = base.copy()
+        modified[0, 5, :] += 10.0
+        out_base = conv(Tensor(base)).data
+        out_modified = conv(Tensor(modified)).data
+        np.testing.assert_allclose(out_base[0, :5], out_modified[0, :5])
+        assert not np.allclose(out_base[0, 5:], out_modified[0, 5:])
+
+    def test_kernel_size_one_is_pointwise(self):
+        conv = CausalConv1d(3, 5, kernel_size=1, rng=np.random.default_rng(0))
+        x = _sequence(2, 7, 3)
+        out = conv(x).data
+        # a pointwise conv applied to a permuted sequence is the permuted output
+        perm = np.random.default_rng(1).permutation(7)
+        out_perm = conv(Tensor(x.data[:, perm, :])).data
+        np.testing.assert_allclose(out_perm, out[:, perm, :])
+
+    def test_receptive_field(self):
+        conv = CausalConv1d(1, 1, kernel_size=3, dilation=4)
+        assert conv.receptive_field == 9
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            CausalConv1d(2, 2, kernel_size=0)
+        with pytest.raises(ValueError):
+            CausalConv1d(2, 2, dilation=0)
+
+    def test_wrong_rank_input_raises(self):
+        conv = CausalConv1d(2, 2)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((4, 2))))
+
+    def test_wrong_channel_count_raises(self):
+        conv = CausalConv1d(2, 2)
+        with pytest.raises(ValueError):
+            conv(_sequence(1, 5, 3))
+
+    def test_gradients_flow_to_all_taps(self):
+        conv = CausalConv1d(2, 2, kernel_size=3, rng=np.random.default_rng(0))
+        out = conv(_sequence(1, 6, 2))
+        out.sum().backward()
+        for weight in conv.weights:
+            assert weight.grad is not None
+            assert np.any(weight.grad != 0.0)
+
+    @given(
+        length=st.integers(min_value=1, max_value=12),
+        kernel=st.integers(min_value=1, max_value=4),
+        dilation=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_shape_property(self, length, kernel, dilation):
+        conv = CausalConv1d(2, 3, kernel_size=kernel, dilation=dilation, rng=np.random.default_rng(0))
+        out = conv(_sequence(1, length, 2))
+        assert out.shape == (1, length, 3)
+
+
+class TestTemporalBlock:
+    def test_output_shape_and_residual(self):
+        block = TemporalBlock(4, 8, kernel_size=2, dilation=1, rng=np.random.default_rng(0))
+        out = block(_sequence(2, 9, 4))
+        assert out.shape == (2, 9, 8)
+        assert block.downsample is not None
+
+    def test_same_width_has_no_downsample(self):
+        block = TemporalBlock(4, 4, rng=np.random.default_rng(0))
+        assert block.downsample is None
+
+    def test_output_is_non_negative(self):
+        """The block ends with a ReLU."""
+        block = TemporalBlock(3, 3, rng=np.random.default_rng(0))
+        out = block(_sequence(1, 6, 3)).data
+        assert np.all(out >= 0)
+
+
+class TestTemporalConvNet:
+    def test_stack_shapes(self):
+        net = TemporalConvNet(4, [8, 8, 16], kernel_size=2, rng=np.random.default_rng(0))
+        out = net(_sequence(3, 12, 4))
+        assert out.shape == (3, 12, 16)
+        assert net.out_channels == 16
+
+    def test_receptive_field_grows_exponentially(self):
+        shallow = TemporalConvNet(1, [4], kernel_size=2)
+        deep = TemporalConvNet(1, [4, 4, 4], kernel_size=2)
+        assert deep.receptive_field > shallow.receptive_field
+        assert deep.receptive_field == 1 + 2 * (2 - 1) * (1 + 2 + 4)
+
+    def test_last_step_matches_forward(self):
+        net = TemporalConvNet(2, [4, 4], rng=np.random.default_rng(0))
+        x = _sequence(2, 7, 2)
+        np.testing.assert_allclose(net.last_step(x).data, net(x).data[:, -1, :])
+
+    def test_empty_channel_sizes_raise(self):
+        with pytest.raises(ValueError):
+            TemporalConvNet(2, [])
+
+    def test_network_is_causal_end_to_end(self):
+        net = TemporalConvNet(2, [4, 4], kernel_size=2, rng=np.random.default_rng(3))
+        base = np.random.default_rng(4).normal(size=(1, 10, 2))
+        modified = base.copy()
+        modified[0, 7, :] += 5.0
+        out_base = net(Tensor(base)).data
+        out_modified = net(Tensor(modified)).data
+        np.testing.assert_allclose(out_base[0, :7], out_modified[0, :7])
+
+    def test_trainable_with_adam(self):
+        from repro.nn.optim import Adam
+
+        rng = np.random.default_rng(5)
+        net = TemporalConvNet(1, [4, 4], rng=rng)
+        head_target = rng.normal(size=(4,))
+        x = Tensor(rng.normal(size=(2, 6, 1)))
+        optimizer = Adam(net.trainable_parameters(), lr=1e-2)
+        first_loss = None
+        for _ in range(15):
+            optimizer.zero_grad()
+            prediction = net.last_step(x)
+            difference = prediction - head_target
+            loss = (difference * difference).mean()
+            loss.backward()
+            optimizer.step()
+            if first_loss is None:
+                first_loss = float(loss.item())
+        assert float(loss.item()) < first_loss

@@ -1,0 +1,376 @@
+"""Tests for the autograd engine (repro.nn.tensor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import no_grad
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        plus = x.copy().reshape(-1)
+        minus = x.copy().reshape(-1)
+        plus[i] += eps
+        minus[i] -= eps
+        grad_flat[i] = (fn(plus.reshape(x.shape)) - fn(minus.reshape(x.shape))) / (2 * eps)
+    return grad
+
+
+def analytic_gradient(expr, x: np.ndarray) -> np.ndarray:
+    t = Tensor(x, requires_grad=True)
+    out = expr(t)
+    out.backward()
+    return t.grad
+
+
+class TestConstruction:
+    def test_wraps_lists_and_scalars(self):
+        assert Tensor([1.0, 2.0]).shape == (2,)
+        assert Tensor(3.0).shape == ()
+
+    def test_dtype_preserved_for_floats(self):
+        assert Tensor(np.ones(3, dtype=np.float32)).dtype == np.float32
+
+    def test_rejects_object_dtype(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array(["a", "b"], dtype=object))
+
+    def test_repr_mentions_shape_and_grad_flag(self):
+        text = repr(Tensor(np.zeros((2, 3)), requires_grad=True))
+        assert "(2, 3)" in text and "requires_grad" in text
+
+    def test_detach_shares_data_but_drops_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, t.data)
+
+    def test_zeros_ones_arange_constructors(self):
+        assert np.all(Tensor.zeros((2, 2)).data == 0)
+        assert np.all(Tensor.ones((2, 2)).data == 1)
+        assert np.array_equal(Tensor.arange(4).data, np.arange(4, dtype=np.float64))
+
+    def test_item_returns_python_float(self):
+        assert isinstance(Tensor(np.array([2.5])).item(), float)
+
+
+class TestArithmetic:
+    def test_add_and_radd(self):
+        t = Tensor([1.0, 2.0])
+        assert np.allclose((t + 1.0).data, [2.0, 3.0])
+        assert np.allclose((1.0 + t).data, [2.0, 3.0])
+
+    def test_subtract_and_rsub(self):
+        t = Tensor([1.0, 2.0])
+        assert np.allclose((t - 1.0).data, [0.0, 1.0])
+        assert np.allclose((3.0 - t).data, [2.0, 1.0])
+
+    def test_multiply_divide(self):
+        t = Tensor([2.0, 4.0])
+        assert np.allclose((t * 2.0).data, [4.0, 8.0])
+        assert np.allclose((t / 2.0).data, [1.0, 2.0])
+        assert np.allclose((8.0 / t).data, [4.0, 2.0])
+
+    def test_pow_and_neg(self):
+        t = Tensor([2.0, 3.0])
+        assert np.allclose((t**2).data, [4.0, 9.0])
+        assert np.allclose((-t).data, [-2.0, -3.0])
+
+    def test_broadcast_add_gradients(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones((4,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.allclose(b.grad, 3.0)
+
+    def test_add_gradient_accumulates_over_reuse(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a + a
+        out.backward(np.array([1.0]))
+        assert np.allclose(a.grad, [2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.arange(6, dtype=float).reshape(2, 3), requires_grad=True)
+        b = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        out = a @ b
+        out.sum().backward()
+        assert out.shape == (2, 4)
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3, 4)
+
+    def test_matmul_batched_against_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((2, 4, 5))
+        out = Tensor(a) @ Tensor(b)
+        assert np.allclose(out.data, a @ b)
+
+    def test_matmul_vector_rhs_gradient(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((3, 4))
+        v = rng.standard_normal(4)
+
+        def f(x):
+            with no_grad():
+                return float((Tensor(a) @ Tensor(x)).sum().data)
+
+        g = analytic_gradient(lambda t: (Tensor(a) @ t).sum(), v)
+        assert np.allclose(g, numeric_gradient(f, v), atol=1e-6)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.sum().data == 6.0
+        assert t.sum(axis=0).shape == (3,)
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_and_var(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        t = Tensor(data)
+        assert np.allclose(t.mean().data, data.mean())
+        assert np.allclose(t.var(axis=1).data, data.var(axis=1))
+
+    def test_sum_gradient_broadcasts_back(self):
+        t = Tensor(np.ones((2, 3)), requires_grad=True)
+        t.sum(axis=1).sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 3)))
+
+    def test_max_gradient_flows_to_argmax(self):
+        t = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.0, 1.0, 0.0]])
+
+    def test_mean_axis_tuple(self):
+        t = Tensor(np.ones((2, 3, 4)))
+        assert t.mean(axis=(0, 2)).shape == (3,)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "name",
+        ["exp", "log", "sqrt", "tanh", "sigmoid", "relu", "gelu", "abs"],
+    )
+    def test_unary_gradients_match_numerics(self, name):
+        rng = np.random.default_rng(hash(name) % 2**31)
+        x = rng.uniform(0.2, 1.5, size=(3, 3))  # positive domain works for log/sqrt
+
+        def expr(t):
+            return getattr(t, name)().sum()
+
+        def f(arr):
+            with no_grad():
+                return float(getattr(Tensor(arr), name)().sum().data)
+
+        assert np.allclose(analytic_gradient(expr, x), numeric_gradient(f, x), atol=1e-5)
+
+    def test_relu_zeroes_negatives(self):
+        assert np.allclose(Tensor([-1.0, 2.0]).relu().data, [0.0, 2.0])
+
+    def test_leaky_relu_slope(self):
+        out = Tensor([-2.0, 2.0]).leaky_relu(0.1)
+        assert np.allclose(out.data, [-0.2, 2.0])
+
+    def test_clip_gradient_masks_out_of_range(self):
+        t = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(0.0, 1.0).sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_range(self):
+        out = Tensor(np.linspace(-10, 10, 7)).sigmoid().data
+        assert np.all((out > 0) & (out < 1))
+
+
+class TestSoftmaxAndMasking:
+    def test_softmax_rows_sum_to_one(self):
+        out = Tensor(np.random.default_rng(0).standard_normal((4, 6))).softmax(axis=-1)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 4))
+        weights = rng.standard_normal((2, 4))
+
+        def expr(t):
+            return (t.softmax(axis=-1) * weights).sum()
+
+        def f(arr):
+            with no_grad():
+                return float((Tensor(arr).softmax(axis=-1) * weights).sum().data)
+
+        assert np.allclose(analytic_gradient(expr, x), numeric_gradient(f, x), atol=1e-6)
+
+    def test_log_softmax_is_log_of_softmax(self):
+        x = np.random.default_rng(4).standard_normal((3, 5))
+        assert np.allclose(Tensor(x).log_softmax().data, np.log(Tensor(x).softmax().data))
+
+    def test_masked_fill_blocks_gradient(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        t.masked_fill(mask, -5.0).sum().backward()
+        assert np.allclose(t.grad, (~mask).astype(float))
+
+    def test_masked_fill_sets_value(self):
+        out = Tensor(np.zeros((2, 2))).masked_fill(np.eye(2, dtype=bool), 9.0)
+        assert np.allclose(np.diag(out.data), 9.0)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        t = Tensor(np.arange(6.0), requires_grad=True)
+        t.reshape(2, 3).sum().backward()
+        assert t.grad.shape == (6,)
+
+    def test_transpose_default_reverses_axes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+        assert t.T.shape == (4, 3, 2)
+
+    def test_transpose_gradient(self):
+        t = Tensor(np.random.default_rng(0).standard_normal((2, 3)), requires_grad=True)
+        t.transpose().sum().backward()
+        assert t.grad.shape == (2, 3)
+
+    def test_swapaxes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.swapaxes(0, 1).shape == (3, 2, 4)
+
+    def test_getitem_int_and_slice(self):
+        t = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        t[1].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[1] = 1.0
+        assert np.allclose(t.grad, expected)
+
+    def test_getitem_fancy_index_gradient_accumulates(self):
+        t = Tensor(np.arange(4.0), requires_grad=True)
+        t[np.array([0, 0, 2])].sum().backward()
+        assert np.allclose(t.grad, [2.0, 0.0, 1.0, 0.0])
+
+    def test_index_select_matches_take(self):
+        t = Tensor(np.arange(12.0).reshape(4, 3))
+        idx = np.array([[0, 1], [2, 3]])
+        assert t.index_select(idx).shape == (2, 2, 3)
+
+    def test_index_select_gradient(self):
+        t = Tensor(np.arange(6.0).reshape(3, 2), requires_grad=True)
+        t.index_select(np.array([2, 2, 0])).sum().backward()
+        assert np.allclose(t.grad, [[1.0, 1.0], [0.0, 0.0], [2.0, 2.0]])
+
+    def test_concat_and_stack_gradients(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        Tensor.concat([a, b], axis=1).sum().backward()
+        assert a.grad.shape == (2, 2) and b.grad.shape == (2, 3)
+        c = Tensor(np.ones(3), requires_grad=True)
+        Tensor.stack([c, c], axis=0).sum().backward()
+        assert np.allclose(c.grad, 2.0)
+
+    def test_pad_last_dims(self):
+        t = Tensor(np.ones((2, 3)), requires_grad=True)
+        padded = t.pad_last_dims([(1, 2)])
+        assert padded.shape == (2, 6)
+        padded.sum().backward()
+        assert np.allclose(t.grad, np.ones((2, 3)))
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_scalar_or_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_no_grad_disables_graph(self):
+        with no_grad():
+            t = Tensor(np.ones(3), requires_grad=True)
+            out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_zero_grad_resets(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        t = Tensor(np.ones(4), requires_grad=True)
+        out = t
+        for _ in range(2000):
+            out = out + 1.0
+        out.sum().backward()
+        assert np.allclose(t.grad, 1.0)
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        a = t * 3.0
+        b = t * 4.0
+        (a + b).backward(np.array([1.0]))
+        assert np.allclose(t.grad, [7.0])
+
+    def test_dropout_eval_mode_is_identity(self):
+        t = Tensor(np.ones((4, 4)))
+        assert np.allclose(t.dropout(0.5, training=False).data, 1.0)
+
+    def test_dropout_train_mode_scales_survivors(self):
+        np.random.seed(0)
+        t = Tensor(np.ones((200, 200)))
+        out = t.dropout(0.5, training=True).data
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 2.0)
+        assert 0.4 < (out > 0).mean() < 0.6
+
+
+class TestPropertyBased:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_composite_expression_gradient(self, rows, cols, seed):
+        """Gradient of a random composite expression matches finite differences."""
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-1.0, 1.0, size=(rows, cols))
+        w = rng.uniform(-1.0, 1.0, size=(cols, 3))
+
+        def expr(t):
+            return ((t @ Tensor(w)).tanh() * 2.0 + 0.5).sigmoid().sum()
+
+        def f(arr):
+            with no_grad():
+                return float(((Tensor(arr) @ Tensor(w)).tanh() * 2.0 + 0.5).sigmoid().sum().data)
+
+        assert np.allclose(analytic_gradient(expr, x), numeric_gradient(f, x), atol=1e-5)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_is_shift_invariant(self, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((2, cols))
+        shifted = x + rng.uniform(-100, 100)
+        assert np.allclose(Tensor(x).softmax().data, Tensor(shifted).softmax().data, atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_sum_rule(self, seed):
+        """d/db sum(a + b) equals the number of broadcast copies of b."""
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 5))
+        a = Tensor(rng.standard_normal((rows, 3)))
+        b = Tensor(rng.standard_normal((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(b.grad, rows)

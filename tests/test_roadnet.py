@@ -1,0 +1,171 @@
+"""Tests for the road-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet import (
+    RoadNetwork,
+    RoadSegment,
+    StaticFeatureEncoder,
+    grid_city,
+    load_road_network,
+    radial_city,
+    random_city,
+    save_road_network,
+)
+from repro.roadnet.segment import DEFAULT_SPEED_LIMITS, ROAD_TYPES
+
+
+class TestRoadSegment:
+    def test_length_is_euclidean(self):
+        segment = RoadSegment(0, (0.0, 0.0), (3.0, 4.0))
+        assert segment.length == pytest.approx(5.0)
+
+    def test_default_speed_limit_by_type(self):
+        segment = RoadSegment(0, (0.0, 0.0), (1.0, 0.0), road_type="motorway")
+        assert segment.speed_limit == DEFAULT_SPEED_LIMITS["motorway"]
+
+    def test_free_flow_travel_time(self):
+        segment = RoadSegment(0, (0.0, 0.0), (1.0, 0.0), road_type="residential", speed_limit=30.0)
+        assert segment.free_flow_travel_time == pytest.approx(1.0 / 30.0 * 3600.0)
+
+    def test_unknown_road_type_rejected(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, (0, 0), (1, 0), road_type="footpath")
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            RoadSegment(0, (0, 0), (1, 0), lanes=0)
+
+    def test_dict_roundtrip(self):
+        segment = RoadSegment(3, (0.5, 1.0), (1.5, 1.0), road_type="primary", lanes=2)
+        restored = RoadSegment.from_dict(segment.to_dict())
+        assert restored.segment_id == 3
+        assert restored.road_type == "primary"
+        assert restored.length == pytest.approx(segment.length)
+
+    def test_midpoint(self):
+        segment = RoadSegment(0, (0.0, 0.0), (2.0, 2.0))
+        assert segment.midpoint == (1.0, 1.0)
+
+
+class TestStaticFeatureEncoder:
+    def test_dimension_and_one_hot(self):
+        segments = [RoadSegment(i, (0, i), (1, i), road_type=ROAD_TYPES[i % len(ROAD_TYPES)]) for i in range(5)]
+        encoder = StaticFeatureEncoder(segments)
+        features = encoder.encode_all(segments)
+        assert features.shape == (5, encoder.dimension)
+        assert np.allclose(features[:, : len(ROAD_TYPES)].sum(axis=1), 1.0)
+
+    def test_features_are_normalised(self):
+        segments = [RoadSegment(i, (0, 0), (i + 1.0, 0)) for i in range(4)]
+        encoder = StaticFeatureEncoder(segments)
+        features = encoder.encode_all(segments)
+        assert features[:, len(ROAD_TYPES)].max() == pytest.approx(1.0)
+
+    def test_empty_segment_list_rejected(self):
+        with pytest.raises(ValueError):
+            StaticFeatureEncoder([])
+
+
+class TestRoadNetwork:
+    def test_grid_adjacency_follows_geometry(self, tiny_network):
+        for i in range(tiny_network.num_segments):
+            for j in tiny_network.successors(i):
+                assert np.allclose(tiny_network.segment(i).end, tiny_network.segment(j).start)
+
+    def test_degrees_are_consistent_with_adjacency(self, tiny_network):
+        adjacency = tiny_network.adjacency
+        for i, segment in enumerate(tiny_network.segments):
+            assert segment.out_degree == adjacency[i].sum()
+            assert segment.in_degree == adjacency[:, i].sum()
+
+    def test_static_feature_matrix_shape(self, tiny_network):
+        assert tiny_network.static_features.shape == (tiny_network.num_segments, tiny_network.static_feature_dim)
+
+    def test_grid_city_is_strongly_connected(self, tiny_network):
+        assert tiny_network.is_strongly_connected()
+
+    def test_shortest_path_starts_and_ends_correctly(self, tiny_network):
+        source, target = 0, tiny_network.num_segments - 1
+        path = tiny_network.shortest_path(source, target)
+        assert path[0] == source and path[-1] == target
+        for a, b in zip(path[:-1], path[1:]):
+            assert b in tiny_network.successors(a)
+
+    def test_shortest_path_respects_custom_weights(self, tiny_network):
+        source = 0
+        successors = tiny_network.successors(source)
+        assert len(successors) >= 1
+        target = successors[0]
+        # Penalising the direct edge should still find a path.
+        weights = {(source, target): 1e9}
+        path = tiny_network.shortest_path(source, target, weights=weights)
+        assert path[0] == source and path[-1] == target
+
+    def test_hop_distance_self_is_zero(self, tiny_network):
+        assert tiny_network.hop_distance(3, 3) == 0
+
+    def test_random_walk_follows_edges(self, tiny_network, rng):
+        walk = tiny_network.random_walk(0, 6, rng)
+        for a, b in zip(walk[:-1], walk[1:]):
+            assert b in tiny_network.successors(a)
+
+    def test_non_contiguous_ids_rejected(self):
+        segments = [RoadSegment(1, (0, 0), (1, 0)), RoadSegment(2, (1, 0), (2, 0))]
+        with pytest.raises(ValueError):
+            RoadNetwork(segments)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([])
+
+    def test_dict_roundtrip_preserves_adjacency(self, tiny_network):
+        restored = RoadNetwork.from_dict(tiny_network.to_dict())
+        assert np.array_equal(restored.adjacency, tiny_network.adjacency)
+
+    def test_save_and_load(self, tiny_network, tmp_path):
+        path = save_road_network(tiny_network, tmp_path / "net.json")
+        restored = load_road_network(path)
+        assert restored.num_segments == tiny_network.num_segments
+        assert np.array_equal(restored.adjacency, tiny_network.adjacency)
+
+
+class TestGenerators:
+    def test_grid_city_segment_count(self):
+        network = grid_city(3, 3, seed=0)
+        # 3 rows x 2 horizontal + 3 cols x 2 vertical, each bidirectional.
+        assert network.num_segments == (3 * 2 + 3 * 2) * 2
+
+    def test_grid_city_requires_minimum_size(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)
+
+    def test_radial_city_strongly_connected(self):
+        network = radial_city(num_rings=2, spokes=6, seed=0)
+        assert network.is_strongly_connected()
+
+    def test_radial_city_validates_arguments(self):
+        with pytest.raises(ValueError):
+            radial_city(num_rings=0, spokes=6)
+
+    def test_random_city_reproducible_with_seed(self):
+        a = random_city(num_intersections=15, seed=3)
+        b = random_city(num_intersections=15, seed=3)
+        assert a.num_segments == b.num_segments
+        assert np.array_equal(a.adjacency, b.adjacency)
+
+    def test_random_city_minimum_size(self):
+        with pytest.raises(ValueError):
+            random_city(num_intersections=2)
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10, deadline=None)
+    def test_grid_city_always_has_connected_core(self, rows, cols):
+        network = grid_city(rows, cols, seed=0)
+        core = network.largest_strongly_connected_component()
+        assert len(core) == network.num_segments

@@ -1,0 +1,146 @@
+"""Tests for the OSM XML import/export bridge (`repro.roadnet.osm`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.roadnet.generators import grid_city
+from repro.roadnet.osm import load_osm, osm_highway_to_road_type, save_osm
+
+MINIMAL_OSM = """<?xml version="1.0" encoding="UTF-8"?>
+<osm version="0.6" generator="test">
+  <node id="1" lat="39.9000" lon="116.4000"/>
+  <node id="2" lat="39.9000" lon="116.4060"/>
+  <node id="3" lat="39.9045" lon="116.4060"/>
+  <node id="4" lat="39.9045" lon="116.4000"/>
+  <way id="10">
+    <nd ref="1"/>
+    <nd ref="2"/>
+    <nd ref="3"/>
+    <tag k="highway" v="primary"/>
+    <tag k="lanes" v="2"/>
+    <tag k="maxspeed" v="60"/>
+  </way>
+  <way id="11">
+    <nd ref="3"/>
+    <nd ref="4"/>
+    <tag k="highway" v="residential"/>
+    <tag k="oneway" v="yes"/>
+  </way>
+  <way id="12">
+    <nd ref="4"/>
+    <nd ref="1"/>
+    <tag k="highway" v="footway"/>
+  </way>
+</osm>
+"""
+
+
+@pytest.fixture()
+def osm_file(tmp_path):
+    path = tmp_path / "city.osm"
+    path.write_text(MINIMAL_OSM, encoding="utf-8")
+    return path
+
+
+class TestHighwayMapping:
+    def test_known_values(self):
+        assert osm_highway_to_road_type("motorway") == "motorway"
+        assert osm_highway_to_road_type("tertiary") == "secondary"
+        assert osm_highway_to_road_type("living_street") == "residential"
+
+    def test_non_drivable_values_are_none(self):
+        assert osm_highway_to_road_type("footway") is None
+        assert osm_highway_to_road_type("cycleway") is None
+        assert osm_highway_to_road_type("") is None
+
+
+class TestLoadOsm:
+    def test_segment_count(self, osm_file):
+        network = load_osm(osm_file)
+        # way 10: two node pairs, bidirectional -> 4 segments
+        # way 11: one node pair, oneway -> 1 segment
+        # way 12: footway -> ignored
+        assert network.num_segments == 5
+
+    def test_tags_become_static_attributes(self, osm_file):
+        network = load_osm(osm_file)
+        primary = [network.segment(i) for i in range(network.num_segments) if network.segment(i).road_type == "primary"]
+        assert len(primary) == 4
+        assert all(segment.lanes == 2 for segment in primary)
+        assert all(segment.speed_limit == pytest.approx(60.0) for segment in primary)
+
+    def test_lengths_match_geographic_distance(self, osm_file):
+        network = load_osm(osm_file)
+        # nodes 1-2 are 0.006 degrees of longitude apart at latitude ~39.9,
+        # which is roughly 0.51 km
+        lengths = [network.segment(i).length for i in range(network.num_segments)]
+        assert min(lengths) > 0.3
+        assert max(lengths) < 0.8
+
+    def test_mph_speed_parsing(self, tmp_path):
+        text = MINIMAL_OSM.replace('v="60"', 'v="30 mph"')
+        path = tmp_path / "mph.osm"
+        path.write_text(text, encoding="utf-8")
+        network = load_osm(path)
+        primary = next(network.segment(i) for i in range(network.num_segments) if network.segment(i).road_type == "primary")
+        assert primary.speed_limit == pytest.approx(30 * 1.609344)
+
+    def test_missing_node_reference_raises(self, tmp_path):
+        text = MINIMAL_OSM.replace('<nd ref="2"/>', '<nd ref="99"/>')
+        path = tmp_path / "broken.osm"
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_osm(path)
+
+    def test_document_without_roads_raises(self, tmp_path):
+        text = """<?xml version="1.0"?><osm><node id="1" lat="0" lon="0"/><node id="2" lat="0" lon="1"/></osm>"""
+        path = tmp_path / "empty.osm"
+        path.write_text(text, encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_osm(path)
+
+    def test_document_without_nodes_raises(self, tmp_path):
+        path = tmp_path / "nodes.osm"
+        path.write_text("""<?xml version="1.0"?><osm></osm>""", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_osm(path)
+
+
+class TestRoundTrip:
+    def test_synthetic_city_survives_export_import(self, tmp_path):
+        original = grid_city(rows=3, cols=3, block_km=0.5, seed=2)
+        path = save_osm(original, tmp_path / "grid.osm")
+        restored = load_osm(path)
+        assert restored.num_segments == original.num_segments
+        # road-type distribution is preserved
+        def type_counts(network):
+            counts = {}
+            for i in range(network.num_segments):
+                counts[network.segment(i).road_type] = counts.get(network.segment(i).road_type, 0) + 1
+            return counts
+
+        assert type_counts(restored) == type_counts(original)
+
+    def test_round_trip_preserves_lengths(self, tmp_path):
+        original = grid_city(rows=3, cols=4, block_km=0.7, seed=0)
+        restored = load_osm(save_osm(original, tmp_path / "grid.osm"))
+        original_lengths = sorted(original.segment(i).length for i in range(original.num_segments))
+        restored_lengths = sorted(restored.segment(i).length for i in range(restored.num_segments))
+        np.testing.assert_allclose(original_lengths, restored_lengths, rtol=1e-3)
+
+    def test_round_trip_preserves_connectivity(self, tmp_path):
+        original = grid_city(rows=3, cols=3, seed=1)
+        restored = load_osm(save_osm(original, tmp_path / "grid.osm"))
+        assert restored.is_strongly_connected() == original.is_strongly_connected()
+
+    def test_exported_file_is_valid_xml_with_nodes_and_ways(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        network = grid_city(rows=2, cols=2, seed=0)
+        path = save_osm(network, tmp_path / "tiny.osm")
+        root = ET.parse(path).getroot()
+        assert root.tag == "osm"
+        assert len(root.findall("way")) == network.num_segments
+        assert len(root.findall("node")) >= 4

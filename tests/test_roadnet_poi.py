@@ -1,0 +1,185 @@
+"""Tests for POIs and grid partitions (`repro.roadnet.poi`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roadnet.generators import grid_city
+from repro.roadnet.poi import POI, POI_CATEGORIES, GridPartition, POIRegistry
+
+
+@pytest.fixture(scope="module")
+def network():
+    return grid_city(rows=4, cols=4, block_km=0.5, seed=3)
+
+
+@pytest.fixture(scope="module")
+def registry(network):
+    return POIRegistry.generate(network, pois_per_segment=0.8, seed=1)
+
+
+class TestPOI:
+    def test_unknown_category_raises(self):
+        with pytest.raises(ValueError):
+            POI(poi_id=0, name="x", category="volcano", location=(0.0, 0.0), segment_id=0)
+
+    def test_round_trip(self):
+        poi = POI(poi_id=3, name="cafe_3", category="restaurant", location=(1.0, 2.0), segment_id=5)
+        assert POI.from_dict(poi.to_dict()) == poi
+
+
+class TestPOIRegistry:
+    def test_generate_is_deterministic(self, network):
+        first = POIRegistry.generate(network, pois_per_segment=0.5, seed=7)
+        second = POIRegistry.generate(network, pois_per_segment=0.5, seed=7)
+        assert len(first) == len(second)
+        assert [p.to_dict() for p in first] == [p.to_dict() for p in second]
+
+    def test_every_poi_lies_on_its_segment(self, registry, network):
+        for poi in registry:
+            segment = network.segment(poi.segment_id)
+            xs = sorted([segment.start[0], segment.end[0]])
+            ys = sorted([segment.start[1], segment.end[1]])
+            assert xs[0] - 1e-9 <= poi.location[0] <= xs[1] + 1e-9
+            assert ys[0] - 1e-9 <= poi.location[1] <= ys[1] + 1e-9
+
+    def test_duplicate_id_rejected(self, network):
+        registry = POIRegistry(network)
+        poi = POI(poi_id=0, name="a", category="park", location=(0.0, 0.0), segment_id=0)
+        registry.add(poi)
+        with pytest.raises(ValueError):
+            registry.add(POI(poi_id=0, name="b", category="park", location=(0.0, 0.0), segment_id=1))
+
+    def test_unknown_segment_rejected(self, network):
+        registry = POIRegistry(network)
+        with pytest.raises(ValueError):
+            registry.add(POI(poi_id=0, name="a", category="park", location=(0.0, 0.0), segment_id=10_000))
+
+    def test_lookup_by_segment_and_category(self, registry):
+        for poi in list(registry)[:10]:
+            assert poi in registry.on_segment(poi.segment_id)
+            assert poi in registry.by_category(poi.category)
+
+    def test_unknown_category_lookup_raises(self, registry):
+        with pytest.raises(ValueError):
+            registry.by_category("volcano")
+
+    def test_get_unknown_id_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.get(10_000_000)
+
+    def test_nearest_returns_closest(self, registry):
+        target = list(registry)[0]
+        found = registry.nearest(target.location)
+        assert found is not None
+        distance_found = np.hypot(found.location[0] - target.location[0], found.location[1] - target.location[1])
+        assert distance_found <= 1e-9
+
+    def test_nearest_on_empty_category(self, network):
+        registry = POIRegistry(network)
+        assert registry.nearest((0.0, 0.0)) is None
+
+    def test_category_counts_sum_to_total(self, registry):
+        counts = registry.category_counts()
+        assert set(counts) == set(POI_CATEGORIES)
+        assert sum(counts.values()) == len(registry)
+
+    def test_segment_category_features_shape_and_total(self, registry, network):
+        features = registry.segment_category_features()
+        assert features.shape == (network.num_segments, len(POI_CATEGORIES))
+        assert features.sum() == len(registry)
+
+    def test_round_trip(self, registry, network):
+        payload = registry.to_dict()
+        restored = POIRegistry.from_dict(network, payload)
+        assert len(restored) == len(registry)
+        assert restored.category_counts() == registry.category_counts()
+
+    def test_negative_density_raises(self, network):
+        with pytest.raises(ValueError):
+            POIRegistry.generate(network, pois_per_segment=-0.1)
+
+
+class TestGridPartition:
+    def test_every_segment_maps_to_a_valid_cell(self, network):
+        grid = GridPartition(network, rows=3, cols=4)
+        for segment_id in range(network.num_segments):
+            cell = grid.cell_of_segment(segment_id)
+            assert 0 <= cell < grid.num_cells
+            assert segment_id in grid.segments_in_cell(cell)
+
+    def test_occupancy_sums_to_segment_count(self, network):
+        grid = GridPartition(network, rows=3, cols=3)
+        occupancy = grid.occupancy()
+        assert occupancy.shape == (3, 3)
+        assert occupancy.sum() == network.num_segments
+
+    def test_single_cell_grid_contains_everything(self, network):
+        grid = GridPartition(network, rows=1, cols=1)
+        assert grid.segments_in_cell(0) == list(range(network.num_segments))
+
+    def test_invalid_sizes_raise(self, network):
+        with pytest.raises(ValueError):
+            GridPartition(network, rows=0, cols=3)
+
+    def test_invalid_cell_query_raises(self, network):
+        grid = GridPartition(network, rows=2, cols=2)
+        with pytest.raises(ValueError):
+            grid.segments_in_cell(99)
+        with pytest.raises(ValueError):
+            grid.cell_of_segment(-1)
+
+    def test_cell_trajectory_collapses_repeats(self, network):
+        grid = GridPartition(network, rows=2, cols=2)
+        segments = [0, 0, 1, 1, 2]
+        cells = grid.cell_trajectory(segments)
+        assert len(cells) <= len(segments)
+        assert all(a != b for a, b in zip(cells, cells[1:]))
+
+    def test_aggregate_traffic_shape_and_mean(self, network):
+        grid = GridPartition(network, rows=2, cols=2)
+        num_slices, channels = 6, 2
+        values = np.arange(network.num_segments * num_slices * channels, dtype=float).reshape(
+            network.num_segments, num_slices, channels
+        )
+        from repro.data.timeutils import TimeAxis
+        from repro.data.traffic_state import TrafficStateSeries
+
+        axis = TimeAxis(num_slices=num_slices, slice_seconds=1800.0)
+        traffic = TrafficStateSeries(values=values, time_axis=axis, channels=("speed", "flow"))
+        aggregated = grid.aggregate_traffic(traffic)
+        assert aggregated.shape == (grid.num_cells, num_slices, channels)
+        cell0_segments = grid.segments_in_cell(0)
+        np.testing.assert_allclose(aggregated[0], values[cell0_segments].mean(axis=0))
+
+    def test_aggregate_traffic_wrong_network_raises(self, network):
+        from repro.data.timeutils import TimeAxis
+        from repro.data.traffic_state import TrafficStateSeries
+
+        grid = GridPartition(network, rows=2, cols=2)
+        axis = TimeAxis(num_slices=3, slice_seconds=1800.0)
+        traffic = TrafficStateSeries(
+            values=np.zeros((network.num_segments + 1, 3, 1)),
+            time_axis=axis,
+            channels=("speed",),
+        )
+        with pytest.raises(ValueError):
+            grid.aggregate_traffic(traffic)
+
+    @given(rows=st.integers(min_value=1, max_value=5), cols=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_partition_is_exhaustive_and_disjoint(self, network, rows, cols):
+        grid = GridPartition(network, rows=rows, cols=cols)
+        seen = []
+        for cell in range(grid.num_cells):
+            seen.extend(grid.segments_in_cell(cell))
+        assert sorted(seen) == list(range(network.num_segments))
+
+    def test_round_trip(self, network):
+        grid = GridPartition(network, rows=3, cols=2)
+        restored = GridPartition.from_dict(network, grid.to_dict())
+        assert restored.rows == 3 and restored.cols == 2
+        assert restored.occupancy().tolist() == grid.occupancy().tolist()

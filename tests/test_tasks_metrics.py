@@ -1,0 +1,129 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import metrics
+
+
+class TestRegressionMetrics:
+    def test_mae_rmse_mape_known_values(self):
+        prediction = np.array([2.0, 4.0])
+        target = np.array([1.0, 2.0])
+        assert metrics.mae(prediction, target) == pytest.approx(1.5)
+        assert metrics.rmse(prediction, target) == pytest.approx(np.sqrt(2.5))
+        assert metrics.mape(prediction, target) == pytest.approx(100.0)
+
+    def test_perfect_prediction_is_zero(self):
+        target = np.array([1.0, 2.0, 3.0])
+        assert metrics.mae(target, target) == 0.0
+        assert metrics.rmse(target, target) == 0.0
+        assert metrics.mape(target, target) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.mae(np.zeros(3), np.zeros(4))
+
+    def test_regression_report_keys(self):
+        report = metrics.regression_report(np.ones(4), np.zeros(4))
+        assert set(report) == {"mae", "rmse", "mape"}
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_rmse_at_least_mae(self, values):
+        prediction = np.array(values)
+        target = np.zeros_like(prediction)
+        assert metrics.rmse(prediction, target) >= metrics.mae(prediction, target) - 1e-12
+
+
+class TestRankingMetrics:
+    def test_accuracy(self):
+        assert metrics.accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert metrics.accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_mrr_at_k(self):
+        rankings = [[3, 1, 2], [9, 8, 7]]
+        targets = [1, 7]
+        assert metrics.mrr_at_k(rankings, targets, k=3) == pytest.approx((1 / 2 + 1 / 3) / 2)
+
+    def test_mrr_misses_outside_k(self):
+        assert metrics.mrr_at_k([[1, 2, 3, 4]], [4], k=3) == 0.0
+
+    def test_ndcg_at_k_perfect_first(self):
+        assert metrics.ndcg_at_k([[5, 1, 2]], [5], k=3) == pytest.approx(1.0)
+
+    def test_ndcg_positional_discount(self):
+        second = metrics.ndcg_at_k([[1, 5]], [5], k=5)
+        assert second == pytest.approx(1.0 / np.log2(3))
+
+    def test_hit_rate(self):
+        rankings = [[1, 2, 3], [4, 5, 6]]
+        assert metrics.hit_rate_at_k(rankings, [3, 9], k=3) == pytest.approx(0.5)
+
+    def test_mean_rank_with_missing(self):
+        rankings = [[1, 2, 3], [4, 5, 6]]
+        assert metrics.mean_rank(rankings, [2, 9]) == pytest.approx((2 + 4) / 2)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_hit_rate_monotone_in_k(self, k):
+        rankings = [list(range(10)) for _ in range(5)]
+        targets = [7, 0, 3, 9, 2]
+        assert metrics.hit_rate_at_k(rankings, targets, k) <= metrics.hit_rate_at_k(rankings, targets, k + 1)
+
+
+class TestClassificationMetrics:
+    def test_binary_f1_perfect_and_zero(self):
+        assert metrics.binary_f1([1, 0, 1], [1, 0, 1]) == 1.0
+        assert metrics.binary_f1([0, 0, 0], [1, 1, 1]) == 0.0
+
+    def test_binary_f1_known_value(self):
+        # TP=1, FP=1, FN=1 -> precision=recall=0.5 -> F1=0.5
+        assert metrics.binary_f1([1, 1, 0], [1, 0, 1]) == pytest.approx(0.5)
+
+    def test_roc_auc_perfect_and_random(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert metrics.roc_auc(scores, labels) == pytest.approx(1.0)
+        assert metrics.roc_auc(1 - scores, labels) == pytest.approx(0.0)
+
+    def test_roc_auc_degenerate_classes(self):
+        assert metrics.roc_auc(np.array([0.5, 0.6]), np.array([1, 1])) == 0.5
+
+    def test_micro_f1_equals_accuracy_single_label(self):
+        prediction = np.array([0, 1, 2, 2])
+        target = np.array([0, 1, 1, 2])
+        assert metrics.micro_f1(prediction, target, 3) == pytest.approx(metrics.accuracy(prediction, target))
+
+    def test_macro_f1_counts_only_present_classes(self):
+        prediction = np.array([0, 0])
+        target = np.array([0, 0])
+        # Class 1 and 2 never appear in targets and must not dilute the score.
+        assert metrics.macro_f1(prediction, target, 3) == pytest.approx(1.0)
+
+    def test_macro_recall(self):
+        prediction = np.array([0, 1, 1, 1])
+        target = np.array([0, 0, 1, 1])
+        assert metrics.macro_recall(prediction, target, 2) == pytest.approx((0.5 + 1.0) / 2)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=30),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_f1_scores_bounded(self, targets, seed):
+        rng = np.random.default_rng(seed)
+        targets = np.array(targets)
+        predictions = rng.integers(0, 4, size=len(targets))
+        for value in (
+            metrics.micro_f1(predictions, targets, 4),
+            metrics.macro_f1(predictions, targets, 4),
+            metrics.macro_recall(predictions, targets, 4),
+        ):
+            assert 0.0 <= value <= 1.0
