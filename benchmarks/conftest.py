@@ -9,9 +9,26 @@ fidelity/wall-clock trade-off with ``REPRO_BENCH_PROFILE`` (``quick`` default,
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.eval.harness import get_profile, global_context
+
+#: Benchmarks that do NOT train models; everything else in this directory is
+#: automatically marked ``slow`` so ``pytest -m "not slow"`` is a fast tier.
+FAST_BENCHMARK_FILES = {"test_perf_engine.py"}
+
+_BENCHMARKS_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(config, items):
+    # The hook receives the whole session's items; only mark the
+    # table/figure benchmarks that live in this directory.
+    for item in items:
+        path = Path(str(item.path)).resolve()
+        if path.parent == _BENCHMARKS_DIR and path.name not in FAST_BENCHMARK_FILES:
+            item.add_marker(pytest.mark.slow)
 
 
 def pytest_report_header(config):

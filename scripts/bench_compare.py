@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_engine.json`` reports and flag regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Every numeric metric shared by both reports is compared.  Metrics measured
+in seconds (``seconds``, ``*_s``) regress when they grow; rate/ratio metrics
+(``speedup``, ``*_per_s``) regress when they shrink.  A relative change
+beyond the threshold (default 10%) is flagged and the exit code is 1, so the
+script can gate CI.  Reports with different ``config_id`` values measure
+different workloads; they are still diffed, but a warning is printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Tuple
+
+#: Metrics that only describe the workload, not its performance.
+_INFORMATIONAL = {"iterations", "steps", "sequences"}
+
+
+def _is_time_metric(name: str) -> bool:
+    # Rate metrics like ``sequences_per_s`` also end in ``_s`` — exclude them.
+    if name.endswith("_per_s") or name == "speedup":
+        return False
+    return name == "seconds" or name.endswith("_s")
+
+
+def _iter_metrics(results: Dict) -> Iterator[Tuple[str, str, float]]:
+    for bench_name, metrics in sorted(results.items()):
+        for metric_name, value in sorted(metrics.items()):
+            if metric_name in _INFORMATIONAL or not isinstance(value, (int, float)):
+                continue
+            yield bench_name, metric_name, float(value)
+
+
+def compare(baseline: Dict, candidate: Dict, threshold: float) -> Tuple[list, list]:
+    """Return ``(rows, regressions)`` comparing the two report dicts."""
+    candidate_results = candidate.get("results", {})
+    rows, regressions = [], []
+    for bench, metric, base_value in _iter_metrics(baseline.get("results", {})):
+        cand_value = candidate_results.get(bench, {}).get(metric)
+        if not isinstance(cand_value, (int, float)):
+            continue
+        if base_value == 0:
+            change = 0.0
+        elif _is_time_metric(metric):
+            change = (cand_value - base_value) / base_value
+        else:
+            change = (base_value - cand_value) / base_value
+        flagged = change > threshold
+        rows.append((bench, metric, base_value, float(cand_value), change, flagged))
+        if flagged:
+            regressions.append((bench, metric, change))
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="older BENCH_engine.json")
+    parser.add_argument("candidate", type=Path, help="newer BENCH_engine.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression beyond which a metric is flagged (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    candidate = json.loads(args.candidate.read_text())
+    if baseline.get("config_id") != candidate.get("config_id"):
+        print(
+            f"WARNING: config_id mismatch ({baseline.get('config_id')} vs "
+            f"{candidate.get('config_id')}); the reports measure different workloads",
+            file=sys.stderr,
+        )
+
+    rows, regressions = compare(baseline, candidate, args.threshold)
+    if not rows:
+        print("no comparable metrics found", file=sys.stderr)
+        return 2
+
+    width = max(len(f"{bench}.{metric}") for bench, metric, *_ in rows)
+    print(f"{'metric'.ljust(width)}  {'baseline':>12}  {'candidate':>12}  {'change':>8}")
+    for bench, metric, base_value, cand_value, change, flagged in rows:
+        marker = "  << REGRESSION" if flagged else ""
+        direction = "+" if change >= 0 else "-"
+        print(
+            f"{f'{bench}.{metric}'.ljust(width)}  {base_value:>12.5g}  {cand_value:>12.5g}  "
+            f"{direction}{abs(change) * 100:>6.1f}%{marker}"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed more than "
+            f"{args.threshold * 100:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

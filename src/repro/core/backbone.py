@@ -81,6 +81,20 @@ class BIGCityBackbone(Module):
         """Embed instruction token ids into the model width."""
         return self.llm.embed_tokens(np.asarray(token_ids, dtype=np.int64))
 
-    def forward(self, embeddings: Tensor, padding_mask: Optional[np.ndarray] = None) -> Tensor:
-        """Run the causal transformer over an embedded prompt sequence (Eq. 10)."""
-        return self.llm(embeddings, padding_mask=padding_mask)
+    def new_caches(self):
+        """Fresh per-layer KV caches for autoregressive decoding."""
+        return self.llm.new_caches()
+
+    def forward(
+        self,
+        embeddings: Tensor,
+        padding_mask: Optional[np.ndarray] = None,
+        caches=None,
+    ) -> Tensor:
+        """Run the causal transformer over an embedded prompt sequence (Eq. 10).
+
+        ``caches`` enables KV-cached incremental decoding (inference only):
+        pass only the new positions and the attention layers reuse the cached
+        prefix keys/values.
+        """
+        return self.llm(embeddings, padding_mask=padding_mask, caches=caches)

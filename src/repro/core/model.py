@@ -24,20 +24,26 @@ import numpy as np
 from repro.core.backbone import BIGCityBackbone
 from repro.core.config import BIGCityConfig
 from repro.core.heads import GeneralTaskHeads, LabelSpace
-from repro.core.prompts import CLAS, REG, Prompt, PromptBuilder, TaskType, TextTokenizer
+from repro.core.prompts import CLAS, REG, Prompt, PromptBuilder, TaskAnchor, TaskType, TextTokenizer
 from repro.core.st_unit import STUnitSequence, traffic_series_to_units, trajectory_to_units
 from repro.core.tokenizer import SpatioTemporalTokenizer
 from repro.data.datasets import CityDataset
 from repro.data.timeutils import TimeAxis
 from repro.data.traffic_state import TrafficStateSeries
 from repro.data.trajectory import Trajectory
+from repro.nn import functional as F
 from repro.nn import losses
 from repro.nn.layers import Dropout
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.tensor import Tensor, fused_enabled, no_grad
 from repro.nn import init
 from repro.roadnet.network import RoadNetwork
-from repro.tasks.decoding import constrained_next_hop_ranking, constrained_recovery_choice, gap_candidates
+from repro.tasks.decoding import (
+    constrained_next_hop_ranking,
+    constrained_recovery_choice,
+    gap_candidates,
+    greedy_next_hop,
+)
 
 
 @dataclass
@@ -235,6 +241,8 @@ class BIGCity(Module):
 
         hidden = self.backbone(batch_embeddings, padding_mask=padding_mask)
 
+        if fused_enabled():
+            return self._collect_outputs_fused(prompts, assembled, hidden, d_model)
         outputs: List[PromptOutput] = []
         for batch_index, (prompt, (rows, task_positions, data_span)) in enumerate(zip(prompts, assembled)):
             if task_positions:
@@ -242,8 +250,54 @@ class BIGCity(Module):
                 task_outputs = Tensor.stack(task_rows, axis=0)
             else:
                 task_outputs = Tensor(np.zeros((0, d_model)))
-            data_rows = [hidden[batch_index, position] for position in range(data_span[0], data_span[1])]
-            pooled = Tensor.stack(data_rows, axis=0).mean(axis=0) if data_rows else Tensor(np.zeros(d_model))
+            if data_span[1] > data_span[0]:
+                data_rows = [hidden[batch_index, position] for position in range(data_span[0], data_span[1])]
+                pooled = Tensor.stack(data_rows, axis=0).mean(axis=0)
+            else:
+                pooled = Tensor(np.zeros(d_model))
+            outputs.append(PromptOutput(prompt=prompt, task_outputs=task_outputs, pooled=pooled))
+        return outputs
+
+    def _collect_outputs_fused(self, prompts, assembled, hidden: Tensor, d_model: int) -> List[PromptOutput]:
+        """Pull task/data rows out of the backbone output with TWO gather nodes.
+
+        All prompts' task placeholders (and all data spans) are gathered in
+        one :func:`~repro.nn.functional.gather_rows` call each, then sliced
+        per prompt; the per-prompt slices backpropagate into the small
+        ``(rows, d_model)`` gather buffer, so the backward allocates two
+        hidden-sized buffers per batch instead of two per prompt.
+        """
+        task_batch: List[int] = []
+        task_rows: List[int] = []
+        task_slices: List[Tuple[int, int]] = []
+        data_batch: List[int] = []
+        data_rows: List[int] = []
+        data_slices: List[Tuple[int, int]] = []
+        for batch_index, (_, task_positions, data_span) in enumerate(assembled):
+            start = len(task_rows)
+            task_batch.extend([batch_index] * len(task_positions))
+            task_rows.extend(task_positions)
+            task_slices.append((start, len(task_rows)))
+            start = len(data_rows)
+            span = range(data_span[0], data_span[1])
+            data_batch.extend([batch_index] * len(span))
+            data_rows.extend(span)
+            data_slices.append((start, len(data_rows)))
+        all_task = F.gather_rows(hidden, task_batch, task_rows) if task_rows else None
+        all_data = F.gather_rows(hidden, data_batch, data_rows) if data_rows else None
+
+        outputs: List[PromptOutput] = []
+        for prompt, (task_start, task_stop), (data_start, data_stop) in zip(
+            prompts, task_slices, data_slices
+        ):
+            if task_stop > task_start:
+                task_outputs = all_task[task_start:task_stop]
+            else:
+                task_outputs = Tensor(np.zeros((0, d_model)))
+            if data_stop > data_start:
+                pooled = all_data[data_start:data_stop].mean(axis=0)
+            else:
+                pooled = Tensor(np.zeros(d_model))
             outputs.append(PromptOutput(prompt=prompt, task_outputs=task_outputs, pooled=pooled))
         return outputs
 
@@ -358,6 +412,80 @@ class BIGCity(Module):
                 else:
                     rankings.append(np.argsort(-logits)[:top_k])
         return rankings
+
+    def rollout_next_hops(
+        self,
+        trajectory: Trajectory,
+        steps: int = 1,
+        use_cache: bool = True,
+        constrain_to_network: bool = True,
+    ) -> np.ndarray:
+        """Autoregressively extend a trajectory by ``steps`` segments.
+
+        Each step ranks the next segment with the segment-classification head,
+        appends the chosen segment as a partially-filled ST token (plus a fresh
+        ``[CLAS]`` placeholder anchored on it) and decodes again.  With
+        ``use_cache=True`` the backbone keeps per-layer :class:`KVCache`
+        buffers, so a step pushes only the two new positions through the
+        transformer — O(prefix) work — instead of re-encoding the whole prompt
+        from scratch — O(prefix²).  ``use_cache=False`` keeps the re-encoding
+        path available for equivalence tests and benchmarking; both paths see
+        byte-identical input sequences and therefore produce identical logits.
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        sequence = self.sequence_from_trajectory(trajectory)
+        timestamps = np.asarray(sequence.timestamps, dtype=np.float64)
+        interval = float(np.diff(timestamps).mean()) if len(timestamps) >= 2 else self.time_scale
+        last_time = float(timestamps[-1])
+        current_segment = int(sequence.segment_ids[-1])
+        network = self.network if constrain_to_network else None
+
+        with no_grad():
+            st_tokens = self.tokenizer.encode_batch([sequence])[0]
+            static_cache = (
+                self.tokenizer.static_representations()
+                if self.tokenizer.has_static_encoder
+                else None
+            )
+            # The initial decode prompt uses the canonical assembly (same
+            # instruction/data/task-token layout the segment head was trained
+            # on); only the per-step appends below are decode-specific.
+            prompt = Prompt(
+                task=TaskType.NEXT_HOP,
+                sequence=sequence,
+                placeholders=(CLAS,),
+                anchors=(TaskAnchor(kind="data", position=len(sequence) - 1),),
+                metadata={"source_id": sequence.source_id},
+            )
+            rows, _, _ = self._assemble_prompt(prompt, st_tokens, static_cache=static_cache)
+
+            caches = self.backbone.new_caches() if use_cache else None
+            hidden = self.backbone(
+                Tensor.stack(rows, axis=0).reshape(1, len(rows), -1), caches=caches
+            )
+            chosen: List[int] = []
+            for step in range(steps):
+                logits = self.heads.classification_logits(
+                    hidden[0, hidden.shape[1] - 1].reshape(1, -1), family="segment"
+                ).data[0]
+                current_segment = greedy_next_hop(logits, current_segment, network)
+                chosen.append(current_segment)
+                if step == steps - 1:
+                    break
+                data_token = self.tokenizer.encode_partial(
+                    segment_id=current_segment,
+                    timestamp=last_time + (step + 1) * interval,
+                    static_cache=static_cache,
+                )
+                task_token = self.clas_token + data_token
+                if use_cache:
+                    new_rows = Tensor.stack([data_token, task_token], axis=0).reshape(1, 2, -1)
+                    hidden = self.backbone(new_rows, caches=caches)
+                else:
+                    rows.extend([data_token, task_token])
+                    hidden = self.backbone(Tensor.stack(rows, axis=0).reshape(1, len(rows), -1))
+        return np.asarray(chosen, dtype=np.int64)
 
     def estimate_travel_time(self, trajectories: Sequence[Trajectory]) -> np.ndarray:
         """Predicted total travel time in seconds for each trajectory."""

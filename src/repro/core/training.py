@@ -65,6 +65,15 @@ class TrainingConfig:
     recovery_keep_ratio: float = 0.3
     #: Mask ratio for imputation prompts during training.
     imputation_mask_ratio: float = 0.25
+    #: Group prompts of similar length into the same batch.  ``forward_prompts``
+    #: pads every prompt in a batch to the batch maximum, so mixing a 6-token
+    #: traffic prompt with a 40-token trajectory prompt wastes most of the
+    #: forward/backward work on padding; bucketing keeps batches dense while
+    #: the batch *order* (and ties within a length) stay shuffled.  Off by
+    #: default: prompt length correlates with task type, so bucketing makes
+    #: batches near task-homogeneous and changes the optimisation trajectory —
+    #: it is a perf lever to enable deliberately, not silently.
+    bucket_by_length: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -113,14 +122,40 @@ class _TrainerBase:
             sequences.append(traffic_series_to_units(traffic, segment, start, length))
         return sequences
 
+    def _batched_order(self, prompts: List[Prompt]) -> List[np.ndarray]:
+        """Shuffled per-batch index groups, optionally bucketed by prompt length.
+
+        Each group feeds ``prompt_loss`` as ONE padded-and-stacked batch (one
+        backbone forward/backward), so grouping similar lengths minimises the
+        padding the batch is inflated to.
+        """
+        order = self._rng.permutation(len(prompts))
+        bucketing = self.config.bucket_by_length and len(order) > self.config.batch_size
+        if bucketing:
+            # Stable sort after the permutation: equal lengths stay shuffled.
+            lengths = np.asarray(
+                [len(prompts[i].sequence) + len(prompts[i].placeholders) for i in order]
+            )
+            order = order[np.argsort(lengths, kind="stable")]
+        groups = [
+            order[start : start + self.config.batch_size]
+            for start in range(0, len(order), self.config.batch_size)
+        ]
+        if bucketing and len(groups) > 1:
+            # Only bucketing re-shuffles the group order (so epochs don't
+            # always go short-to-long); without it the single permutation
+            # above already randomises batches, exactly like the original
+            # epoch loop — same RNG draws, same optimisation trajectory.
+            groups = [groups[i] for i in self._rng.permutation(len(groups))]
+        return groups
+
     def _run_epoch(self, prompts: List[Prompt], optimizer: Adam, epoch: int) -> EpochLog:
         start_time = time.perf_counter()
-        order = self._rng.permutation(len(prompts))
         total_loss = 0.0
         breakdown_sum: Dict[str, float] = {}
         batches = 0
-        for start in range(0, len(order), self.config.batch_size):
-            batch = [prompts[i] for i in order[start : start + self.config.batch_size]]
+        for group in self._batched_order(prompts):
+            batch = [prompts[i] for i in group]
             optimizer.zero_grad()
             loss, breakdown = self.model.prompt_loss(batch)
             if not loss.requires_grad:

@@ -11,6 +11,8 @@
 * :mod:`repro.eval.repeats` — repeated-run (mean ± std) aggregation.
 * :mod:`repro.eval.report` — Markdown reproduction reports (paper vs measured).
 * :mod:`repro.eval.stats` — paired significance tests for model comparisons.
+* :mod:`repro.eval.perfbench` — engine micro-benchmarks (fused kernels,
+  KV-cached decode) emitting config-hashed ``BENCH_engine.json`` reports.
 """
 
 from repro.eval.results import ResultTable
@@ -33,6 +35,7 @@ from repro.eval.experiments import (
     run_fig5_lora_sensitivity,
     run_fig6_scalability,
 )
+from repro.eval.perfbench import PerfBenchConfig, PerfBenchReport, run_perfbench, write_report
 from repro.eval.registry import EXPERIMENTS, get_experiment
 
 __all__ = [
@@ -55,6 +58,10 @@ __all__ = [
     "run_fig6_scalability",
     "EXPERIMENTS",
     "get_experiment",
+    "PerfBenchConfig",
+    "PerfBenchReport",
+    "run_perfbench",
+    "write_report",
     "render_radar",
     "radar_from_table",
     "AggregatedTable",

@@ -1,0 +1,340 @@
+"""Engine micro-benchmarks with config-hashed, regression-comparable output.
+
+The fused-kernel fast path (:mod:`repro.nn.functional`) and the KV-cached
+decoding path (:class:`repro.nn.attention.KVCache`) are *claimed* speedups;
+this module measures them.  Each benchmark times the optimised path against
+the legacy formulation it replaced — fused vs composed tape nodes for
+forward+backward, cached vs full re-encode for autoregressive decode — and
+the report is written as ``BENCH_engine.json`` so later PRs have a perf
+trajectory to regress against (``scripts/bench_compare.py`` diffs two such
+files).
+
+Timing is *paired*: the two variants of a benchmark are sampled alternately
+and each keeps its best sample, so a burst of machine noise (CPU steal on a
+shared core) lands on both sides instead of skewing the ratio.
+
+Following the conduit ``ExperimentConfig`` idiom, a report carries a stable
+``config_id`` — the truncated SHA-256 of its sorted-JSON config — so two
+reports are comparable exactly when their ids match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.nn import losses
+from repro.nn.tensor import Tensor, fused_kernels, no_grad
+from repro.nn.transformer import GPT2Config, GPT2Model
+
+__all__ = [
+    "PerfBenchConfig",
+    "PerfBenchReport",
+    "run_perfbench",
+    "write_report",
+    "config_hash",
+]
+
+
+def config_hash(config: Dict) -> str:
+    """Stable 12-hex-character identity of a JSON-serialisable config dict."""
+    payload = json.dumps(config, sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class PerfBenchConfig:
+    """Sizes and sample counts of the engine micro-benchmarks.
+
+    The forward+backward shape matches the tier-1 model width
+    (``d_model=32``, as in ``BIGCityConfig.tiny``) with a sequence long
+    enough that the engine effects being measured — tape-node count,
+    temporaries, the block-causal attention kernel — dominate constant
+    Python overhead.  The decode shape is wider so the re-encoding baseline
+    pays realistic per-step compute.
+    """
+
+    # forward+backward (fused vs composed engine path)
+    d_model: int = 32
+    num_layers: int = 2
+    num_heads: int = 8
+    batch_size: int = 2
+    seq_len: int = 320
+    # autoregressive decode (KV-cached vs full re-encode)
+    decode_d_model: int = 64
+    decode_num_heads: int = 4
+    decode_prefill: int = 32
+    decode_steps: int = 160
+    # tokenizer encode
+    tokenizer_sequences: int = 16
+    #: Paired samples per benchmark; each variant keeps its best sample.
+    samples: int = 8
+    seed: int = 0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @property
+    def config_id(self) -> str:
+        # ``samples`` controls measurement effort, not the workload: two
+        # reports that differ only in sample count measure the same thing
+        # and must stay comparable.
+        workload = {key: value for key, value in self.to_dict().items() if key != "samples"}
+        return config_hash(workload)
+
+
+@dataclass
+class PerfBenchReport:
+    """The measured results of one :func:`run_perfbench` invocation."""
+
+    config: PerfBenchConfig
+    results: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "benchmark": "engine",
+            "config": self.config.to_dict(),
+            "config_id": self.config.config_id,
+            "environment": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            },
+            "results": self.results,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def write_report(report: PerfBenchReport, path) -> Path:
+    """Write ``BENCH_engine.json`` (or any path) and return it."""
+    path = Path(path)
+    path.write_text(report.to_json() + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+def _paired_best(
+    baseline: Callable[[], None],
+    optimised: Callable[[], None],
+    samples: int,
+) -> Dict[str, float]:
+    """Best-of-``samples`` wall-clock for two alternately-sampled variants."""
+    optimised()  # warm-up both: caches, allocator, first-touch
+    baseline()
+    best_base = best_opt = float("inf")
+    for _ in range(max(samples, 1)):
+        start = time.perf_counter()
+        optimised()
+        best_opt = min(best_opt, time.perf_counter() - start)
+        start = time.perf_counter()
+        baseline()
+        best_base = min(best_base, time.perf_counter() - start)
+    return {"baseline_s": best_base, "optimised_s": best_opt}
+
+
+def _build_model(d_model: int, num_layers: int, num_heads: int, max_position: int, seed: int) -> GPT2Model:
+    return GPT2Model(
+        GPT2Config(
+            d_model=d_model,
+            num_layers=num_layers,
+            num_heads=num_heads,
+            max_position=max_position,
+            dropout=0.0,
+            seed=seed,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmarks
+# ----------------------------------------------------------------------
+def bench_tokenizer(config: PerfBenchConfig) -> Dict[str, float]:
+    """Time ST-tokenizer ``encode_batch`` over synthetic trajectories."""
+    # Imported lazily: the tokenizer benchmark needs the full data stack,
+    # the engine benchmarks only repro.nn.
+    from repro.core.config import BIGCityConfig
+    from repro.core.st_unit import trajectory_to_units
+    from repro.core.tokenizer import SpatioTemporalTokenizer
+    from repro.data.synthetic import SyntheticCity, SyntheticCityConfig
+    from repro.roadnet.generators import grid_city
+
+    network = grid_city(rows=4, cols=4, block_km=0.5, seed=config.seed)
+    city = SyntheticCity(
+        network,
+        SyntheticCityConfig(
+            num_users=4,
+            trajectories_per_user=max(1, config.tokenizer_sequences // 4),
+            num_days=1,
+            min_route_hops=4,
+            max_route_hops=10,
+            seed=config.seed,
+        ),
+    )
+    trajectories, traffic = city.simulate()
+    tokenizer = SpatioTemporalTokenizer(
+        network=network,
+        time_axis=city.time_axis,
+        config=BIGCityConfig.tiny(),
+        traffic_states=traffic,
+    )
+    tokenizer.eval()
+    sequences = [
+        trajectory_to_units(t, traffic) for t in trajectories[: config.tokenizer_sequences]
+    ]
+
+    def run() -> None:
+        with no_grad():
+            tokenizer.encode_batch(sequences)
+
+    run()
+    best = float("inf")
+    for _ in range(max(config.samples, 1)):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return {
+        "seconds": best,
+        "sequences": float(len(sequences)),
+        "sequences_per_s": len(sequences) / best if best > 0 else float("inf"),
+    }
+
+
+def bench_forward_backward(config: PerfBenchConfig) -> Dict[str, float]:
+    """Fused vs composed engine path on a transformer forward+backward.
+
+    Both variants run the identical GPT-2 stack and softmax cross-entropy
+    loss; the only difference is the engine path — single fused tape nodes
+    (block-causal attention, fused layer-norm/GELU/linear/cross-entropy)
+    against the composed multi-node formulation the engine originally used.
+    The ratio is therefore exactly the engine speedup.
+    """
+    model = _build_model(
+        config.d_model, config.num_layers, config.num_heads, max(512, config.seq_len + 8), config.seed
+    )
+    model.train()
+    rng = np.random.default_rng(config.seed)
+    embeddings = rng.standard_normal((config.batch_size, config.seq_len, config.d_model))
+    targets = rng.integers(0, config.d_model, size=config.batch_size * config.seq_len)
+    parameters = list(model.parameters())
+
+    def run_once() -> None:
+        for parameter in parameters:
+            parameter.zero_grad()
+        x = Tensor(embeddings, requires_grad=True)
+        hidden = model(x)
+        loss = losses.cross_entropy(hidden.reshape(-1, config.d_model), targets)
+        loss.backward()
+
+    def run_fused() -> None:
+        with fused_kernels(True):
+            run_once()
+
+    def run_composed() -> None:
+        with fused_kernels(False):
+            run_once()
+
+    timing = _paired_best(run_composed, run_fused, config.samples)
+    composed_s, fused_s = timing["baseline_s"], timing["optimised_s"]
+    return {
+        "fused_s": fused_s,
+        "composed_s": composed_s,
+        "speedup": composed_s / fused_s if fused_s > 0 else float("inf"),
+    }
+
+
+def bench_decode(config: PerfBenchConfig) -> Dict[str, float]:
+    """KV-cached vs full re-encode autoregressive decoding.
+
+    Starting from a ``decode_prefill``-token prefix, each of ``decode_steps``
+    steps feeds one new embedding.  The cached path pushes only that embedding
+    through the transformer (the per-layer :class:`KVCache` holds the prefix);
+    the uncached path re-encodes the whole growing sequence every step, which
+    is what the model layer did before this fast path existed.
+    """
+    length = config.decode_prefill + config.decode_steps
+    model = _build_model(
+        config.decode_d_model, config.num_layers, config.decode_num_heads, max(512, length + 8), config.seed
+    )
+    model.eval()
+    rng = np.random.default_rng(config.seed)
+    prefix = rng.standard_normal((1, config.decode_prefill, config.decode_d_model))
+    steps = rng.standard_normal((config.decode_steps, config.decode_d_model))
+
+    def run_cached() -> None:
+        with no_grad():
+            caches = model.new_caches()
+            model(Tensor(prefix), caches=caches)
+            for index in range(config.decode_steps):
+                model(Tensor(steps[index].reshape(1, 1, -1)), caches=caches)
+
+    def run_uncached() -> None:
+        with no_grad():
+            model(Tensor(prefix))
+            for index in range(config.decode_steps):
+                full = np.concatenate(
+                    [prefix, steps[: index + 1].reshape(1, -1, config.decode_d_model)], axis=1
+                )
+                model(Tensor(full))
+
+    timing = _paired_best(run_uncached, run_cached, config.samples)
+    uncached_s, cached_s = timing["baseline_s"], timing["optimised_s"]
+    return {
+        "cached_s": cached_s,
+        "uncached_s": uncached_s,
+        "speedup": uncached_s / cached_s if cached_s > 0 else float("inf"),
+        "steps": float(config.decode_steps),
+    }
+
+
+def run_perfbench(
+    config: Optional[PerfBenchConfig] = None,
+    include: Optional[List[str]] = None,
+) -> PerfBenchReport:
+    """Run the engine micro-benchmarks and return the report.
+
+    ``include`` selects a subset of ``{"tokenizer", "forward_backward",
+    "decode"}``; the default runs all three.
+    """
+    config = config or PerfBenchConfig()
+    benches: Dict[str, Callable[[PerfBenchConfig], Dict[str, float]]] = {
+        "tokenizer": bench_tokenizer,
+        "forward_backward": bench_forward_backward,
+        "decode": bench_decode,
+    }
+    selected = include if include is not None else list(benches)
+    unknown = [name for name in selected if name not in benches]
+    if unknown:
+        raise ValueError(f"unknown benchmarks {unknown!r}; choose from {sorted(benches)}")
+    report = PerfBenchReport(config=config)
+    for name in selected:
+        report.results[name] = benches[name](config)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.eval.perfbench [output.json]``"""
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    output = argv[0] if argv else "BENCH_engine.json"
+    report = run_perfbench()
+    path = write_report(report, output)
+    for name, result in report.results.items():
+        summary = ", ".join(f"{key}={value:.4g}" for key, value in sorted(result.items()))
+        print(f"{name}: {summary}")
+    print(f"wrote {path} (config {report.config.config_id})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,8 +14,9 @@ equivalents so that the BIGCity model code in :mod:`repro.core` reads like
 the architecture described in the paper.
 """
 
-from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, fused_kernels, fused_enabled
 from repro.nn import functional
+from repro.nn.attention import KVCache
 from repro.nn.module import Module, Parameter, ModuleList, Sequential
 from repro.nn.layers import (
     Linear,
@@ -56,6 +57,9 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "fused_kernels",
+    "fused_enabled",
+    "KVCache",
     "functional",
     "Module",
     "Parameter",

@@ -2,13 +2,74 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn import functional as F
 from repro.nn.layers import Dropout, Linear
 from repro.nn.module import Module
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, fused_enabled, is_grad_enabled
+
+
+class KVCache:
+    """Per-layer key/value cache for autoregressive decoding.
+
+    Keys and values are stored in pre-allocated buffers that grow by doubling,
+    so appending one decode step is amortised O(1) instead of re-encoding the
+    whole prefix.  The cache holds plain arrays (inference only); attention
+    layers refuse to use it while gradients are being recorded.
+    """
+
+    __slots__ = ("_keys", "_values", "_length")
+
+    def __init__(self) -> None:
+        self._keys: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._length = 0
+
+    @property
+    def length(self) -> int:
+        """Number of cached key/value positions."""
+        return self._length
+
+    def reset(self) -> None:
+        """Empty the cache (a fresh decode session may use any batch shape)."""
+        self._keys = None
+        self._values = None
+        self._length = 0
+
+    def append(self, keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Append ``(batch, heads, new, head_dim)`` keys/values; return the full views."""
+        new = keys.shape[2]
+        needed = self._length + new
+        if self._keys is None:
+            capacity = max(16, needed)
+            shape = keys.shape[:2] + (capacity,) + keys.shape[3:]
+            self._keys = np.empty(shape, dtype=keys.dtype)
+            self._values = np.empty(shape, dtype=values.dtype)
+            self._length = 0
+            needed = new
+        elif self._keys.shape[:2] != keys.shape[:2]:
+            # Callers (GPT2Model, MultiHeadAttention) compute position and
+            # mask offsets from the cache length BEFORE appending, so a
+            # batch/head mismatch cannot be absorbed here without silently
+            # corrupting those offsets — it must be a new decode session.
+            raise ValueError(
+                f"cache holds batch/head shape {self._keys.shape[:2]} but got "
+                f"{keys.shape[:2]}; use fresh caches (new_caches()) for a new batch"
+            )
+        elif needed > self._keys.shape[2]:
+            capacity = max(2 * self._keys.shape[2], needed)
+            grown_k = np.empty(self._keys.shape[:2] + (capacity,) + self._keys.shape[3:], dtype=self._keys.dtype)
+            grown_v = np.empty_like(grown_k)
+            grown_k[:, :, : self._length] = self._keys[:, :, : self._length]
+            grown_v[:, :, : self._length] = self._values[:, :, : self._length]
+            self._keys, self._values = grown_k, grown_v
+        self._keys[:, :, self._length : needed] = keys
+        self._values[:, :, self._length : needed] = values
+        self._length = needed
+        return self._keys[:, :, : self._length], self._values[:, :, : self._length]
 
 
 class MultiHeadAttention(Module):
@@ -25,6 +86,7 @@ class MultiHeadAttention(Module):
         num_heads: int,
         dropout: float = 0.0,
         causal: bool = False,
+        record_attention: bool = False,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
@@ -34,6 +96,11 @@ class MultiHeadAttention(Module):
         self.num_heads = num_heads
         self.head_dim = d_model // num_heads
         self.causal = causal
+        #: Retain the ``(batch, heads, q_len, kv_len)`` attention weights of
+        #: every forward pass on ``last_attention``.  Off by default: keeping
+        #: one such array alive per layer per step is pure overhead unless an
+        #: inspection/visualisation path explicitly asks for it.
+        self.record_attention = record_attention
         self.q_proj = Linear(d_model, d_model, rng=rng)
         self.k_proj = Linear(d_model, d_model, rng=rng)
         self.v_proj = Linear(d_model, d_model, rng=rng)
@@ -55,6 +122,7 @@ class MultiHeadAttention(Module):
         query: Tensor,
         key_value: Optional[Tensor] = None,
         padding_mask: Optional[np.ndarray] = None,
+        cache: Optional[KVCache] = None,
     ) -> Tensor:
         """Attend from ``query`` to ``key_value`` (or to itself).
 
@@ -67,38 +135,102 @@ class MultiHeadAttention(Module):
         padding_mask:
             Boolean ``(batch, kv_len)`` array, ``True`` at padded key
             positions to exclude from attention.
+        cache:
+            Optional :class:`KVCache` for autoregressive decoding: the new
+            keys/values are appended and attention runs over the full cached
+            prefix, so each decode step costs O(prefix) instead of
+            re-encoding it.  Inference only (requires ``no_grad``).
         """
         source = query if key_value is None else key_value
+        q_len = query.shape[1]
+        offset = 0
         q = self._split_heads(self.q_proj(query))
         k = self._split_heads(self.k_proj(source))
         v = self._split_heads(self.v_proj(source))
+        if cache is not None:
+            if is_grad_enabled():
+                raise RuntimeError(
+                    "KV-cached attention is an inference fast path; wrap the call in no_grad()"
+                )
+            if key_value is not None:
+                raise ValueError("KV caching only applies to self-attention")
+            offset = cache.length
+            cached_k, cached_v = cache.append(k.data, v.data)
+            k, v = Tensor(cached_k), Tensor(cached_v)
+        kv_len = k.shape[2]
+
+        use_fused = fused_enabled()
+        mask: Optional[np.ndarray] = None
+        is_causal = False
+        if self.causal and key_value is not None and kv_len != q_len:
+            raise ValueError("causal attention requires self-attention with equal lengths")
+        if use_fused:
+            # Fast path: unpadded causal attention passes only a flag (the
+            # kernel exploits the mask's triangular structure instead of
+            # materialising it); otherwise causal masks are cached per shape
+            # (None when nothing would be masked) and the padding branch is
+            # skipped entirely for unpadded batches.
+            if padding_mask is not None:
+                pad = np.asarray(padding_mask, dtype=bool)
+                if pad.any():
+                    mask = pad[:, None, None, :]
+            if self.causal:
+                if mask is None and offset == 0:
+                    is_causal = True
+                else:
+                    causal = F.cached_causal_mask(q_len, kv_len, offset=offset)
+                    if causal is not None:
+                        mask = causal if mask is None else (mask | causal)
+        else:
+            # Legacy engine path (kept for A/B benchmarking): a fresh
+            # ``(1, 1, q_len, kv_len)`` mask is built and scanned every call,
+            # exactly as the original formulation did.
+            legacy = np.zeros((1, 1, q_len, kv_len), dtype=bool)
+            if self.causal:
+                legacy = legacy | np.triu(np.ones((q_len, kv_len), dtype=bool), k=1 + offset)[None, None]
+            if padding_mask is not None:
+                legacy = legacy | np.asarray(padding_mask, dtype=bool)[:, None, None, :]
+            if legacy.any():
+                mask = legacy
 
         scale = 1.0 / np.sqrt(self.head_dim)
-        scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale
-
-        q_len = query.shape[1]
-        kv_len = source.shape[1]
-        mask = np.zeros((1, 1, q_len, kv_len), dtype=bool)
-        if self.causal:
-            if key_value is not None and kv_len != q_len:
-                raise ValueError("causal attention requires self-attention with equal lengths")
-            mask = mask | np.triu(np.ones((q_len, kv_len), dtype=bool), k=1)[None, None]
-        if padding_mask is not None:
-            pad = np.asarray(padding_mask, dtype=bool)[:, None, None, :]
-            mask = mask | pad
-        if mask.any():
-            scores = scores.masked_fill(mask, -1e9)
-
-        attention = scores.softmax(axis=-1)
-        self._last_attention = attention.data
-        attention = self.attn_dropout(attention)
-        context = attention.matmul(v)
+        if use_fused:
+            dropout_p = self.attn_dropout.p if self.training else 0.0
+            fused = F.scaled_dot_product_attention(
+                q,
+                k,
+                v,
+                mask=mask,
+                dropout_p=dropout_p,
+                training=self.training,
+                scale=scale,
+                return_weights=self.record_attention,
+                is_causal=is_causal,
+            )
+            if self.record_attention:
+                context, weights = fused
+                self._last_attention = weights
+            else:
+                context = fused
+        else:
+            scores = q.matmul(k.transpose(0, 1, 3, 2)) * scale
+            if mask is not None:
+                scores = scores.masked_fill(mask, -1e9)
+            attention = scores.softmax(axis=-1)
+            if self.record_attention:
+                self._last_attention = attention.data
+            attention = self.attn_dropout(attention)
+            context = attention.matmul(v)
         out = self.out_proj(self._merge_heads(context))
         return self.resid_dropout(out)
 
     @property
     def last_attention(self) -> Optional[np.ndarray]:
-        """Attention weights from the latest forward pass (for inspection)."""
+        """Attention weights from the latest forward pass.
+
+        Populated only when ``record_attention`` is enabled; retaining the
+        weights for every call is gated off by default.
+        """
         return self._last_attention
 
 

@@ -1,12 +1,23 @@
-"""Functional helpers operating on :class:`repro.nn.tensor.Tensor`."""
+"""Functional helpers operating on :class:`repro.nn.tensor.Tensor`.
+
+Besides thin wrappers around the :class:`Tensor` methods, this module hosts
+the *fused kernels* of the engine fast path: scaled-dot-product attention,
+layer normalisation, GELU and softmax cross-entropy each run their forward
+pass in plain NumPy and record a single tape node with an analytic backward,
+instead of the 5-10 nodes (and full-size temporaries) the composed
+formulation creates.  The composed formulations are kept as ``*_composed``
+fallbacks; :func:`repro.nn.tensor.fused_kernels` switches between the two so
+the speedup can be measured rather than asserted (see
+``repro.eval.perfbench``).
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, apply_op, fused_enabled
 
 
 def relu(x: Tensor) -> Tensor:
@@ -14,6 +25,9 @@ def relu(x: Tensor) -> Tensor:
 
 
 def gelu(x: Tensor) -> Tensor:
+    """GELU activation; dispatches to the fused kernel or the legacy method."""
+    if fused_enabled():
+        return fused_gelu(x)
     return x.gelu()
 
 
@@ -39,10 +53,38 @@ def dropout(x: Tensor, p: float, training: bool = True) -> Tensor:
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Apply ``x @ weight.T + bias`` (same convention as ``torch.nn.functional.linear``)."""
+    if fused_enabled():
+        return fused_linear(x, weight, bias)
     out = x.matmul(weight.transpose())
     if bias is not None:
         out = out + bias
     return out
+
+
+def fused_linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """``x @ weight.T (+ bias)`` as a single tape node.
+
+    The composed formulation records a transpose node, a matmul node and a
+    broadcast-add node whose backward un-broadcasts the bias gradient over
+    the full activation; here the transpose is a free view, the bias add is
+    in place and its gradient a single row-sum.
+    """
+    x_data = x.data
+    out = x_data @ weight.data.T
+    if bias is not None:
+        out += bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate_owned(grad @ weight.data)
+        flat_grad = grad.reshape(-1, grad.shape[-1])
+        if weight.requires_grad:
+            weight._accumulate_owned(flat_grad.T @ x_data.reshape(-1, x_data.shape[-1]))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate_owned(flat_grad.sum(axis=0))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return apply_op(out, parents, backward)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
@@ -61,9 +103,383 @@ def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
     return out
 
 
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def fused_gelu(x: Tensor) -> Tensor:
+    """GELU (tanh approximation) as a single tape node.
+
+    The forward pass stages everything through two reusable buffers (no
+    ``x**3`` power calls, one ``tanh``); the backward reuses the saved
+    ``x²`` and ``tanh`` buffers in place, so the whole op touches a fraction
+    of the temporaries :meth:`Tensor.gelu` allocates.
+    """
+    data_x = x.data
+    x_sq = data_x * data_x
+    inner = x_sq * 0.044715
+    inner += 1.0
+    inner *= data_x
+    inner *= _GELU_C
+    tanh_inner = np.tanh(inner, out=inner)
+    out = tanh_inner + 1.0
+    out *= data_x
+    out *= 0.5
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        # derivative = 0.5*(1+t) + 0.5*x*(1-t²)*c*(1+3a*x²), computed by
+        # destroying the saved x² / tanh buffers (a tape node's backward
+        # runs exactly once).
+        sech2 = tanh_inner * tanh_inner
+        np.subtract(1.0, sech2, out=sech2)
+        poly = x_sq
+        poly *= 3.0 * 0.044715
+        poly += 1.0
+        poly *= _GELU_C
+        sech2 *= poly
+        sech2 *= data_x
+        np.add(tanh_inner, 1.0, out=poly)
+        sech2 += poly
+        sech2 *= 0.5
+        sech2 *= grad
+        x._accumulate_owned(sech2)
+
+    return apply_op(out, (x,), backward)
+
+
+def gelu_composed(x: Tensor) -> Tensor:
+    """GELU built from primitive tape ops (reference for the fused kernel)."""
+    inner = (x + x * x * x * 0.044715) * _GELU_C
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def fused_layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis as a single tape node."""
+    data_x = x.data
+    mean = data_x.mean(axis=-1, keepdims=True)
+    centered = data_x - mean
+    variance = np.mean(centered * centered, axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(variance + eps)
+    normalised = centered * inv_std
+    out = normalised * weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        feature_dim = grad.shape[-1]
+        if x.requires_grad:
+            grad_norm = grad * weight.data
+            mean_grad = grad_norm.mean(axis=-1, keepdims=True)
+            mean_grad_norm = np.mean(grad_norm * normalised, axis=-1, keepdims=True)
+            x._accumulate_owned(inv_std * (grad_norm - mean_grad - normalised * mean_grad_norm))
+        if weight.requires_grad:
+            weight._accumulate_owned((grad * normalised).reshape(-1, feature_dim).sum(axis=0))
+        if bias.requires_grad:
+            bias._accumulate_owned(grad.reshape(-1, feature_dim).sum(axis=0))
+
+    return apply_op(out, (x, weight, bias), backward)
+
+
+def layer_norm_composed(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """The legacy multi-node layer-norm formulation (reference/benchmark path)."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalised = centered / (variance + eps).sqrt()
+    return normalised * weight + bias
+
+
+def fused_cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy from raw logits as a single tape node.
+
+    Fuses ``log_softmax`` + gather + negate + reduce: the backward is the
+    analytic ``softmax(logits) - one_hot(targets)`` without materialising the
+    one-hot matrix or any intermediate graph nodes.
+    """
+    target_idx = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets, dtype=np.int64
+    ).reshape(-1)
+    num_classes = logits.shape[-1]
+    flat = logits.data.reshape(-1, num_classes)
+    num_rows = flat.shape[0]
+    if target_idx.shape[0] != num_rows:
+        raise ValueError(
+            f"targets have {target_idx.shape[0]} entries but logits have {num_rows} rows"
+        )
+    shifted = flat - flat.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - logsumexp
+    rows = np.arange(num_rows)
+    per_row = -log_probs[rows, target_idx]
+    if reduction == "mean":
+        out = per_row.mean()
+    elif reduction == "sum":
+        out = per_row.sum()
+    elif reduction == "none":
+        # Flat (rows,) losses, matching the composed formulation exactly.
+        out = per_row
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        if reduction == "mean":
+            row_grad = np.full(num_rows, float(np.asarray(grad).reshape(())) / num_rows)
+        elif reduction == "sum":
+            row_grad = np.full(num_rows, float(np.asarray(grad).reshape(())))
+        else:
+            row_grad = np.asarray(grad, dtype=np.float64).reshape(-1)
+        grad_logits = np.exp(log_probs) * row_grad[:, None]
+        grad_logits[rows, target_idx] -= row_grad
+        logits._accumulate_owned(grad_logits.reshape(logits.shape))
+
+    return apply_op(out, (logits,), backward)
+
+
+def scaled_dot_product_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    mask: Optional[np.ndarray] = None,
+    dropout_p: float = 0.0,
+    training: bool = False,
+    scale: Optional[float] = None,
+    return_weights: bool = False,
+    is_causal: bool = False,
+):
+    """``softmax(q @ k^T * scale + mask) @ v`` as a single tape node.
+
+    ``q`` is ``(..., q_len, head_dim)``, ``k``/``v`` are ``(..., kv_len,
+    head_dim)`` with identical leading dimensions.  ``mask`` is a boolean
+    array broadcastable to ``(..., q_len, kv_len)``, ``True`` at positions to
+    hide.  With ``return_weights=True`` the (pre-dropout) attention
+    probabilities are returned as a plain array alongside the output.
+
+    ``is_causal=True`` (self-attention, no other mask) dispatches to a
+    block-causal kernel that never touches the masked upper triangle: rows
+    are processed in blocks whose key extent stops at the diagonal, so the
+    forward and backward skip ~half of the ``q_len × kv_len`` work instead
+    of computing it and masking it away.  The composed formulation cannot do
+    this — it materialises the full score matrix by construction.
+    """
+    if (
+        is_causal
+        and mask is None
+        and not return_weights
+        and q.shape[-2] == k.shape[-2]
+        and q.shape[-2] >= 2 * _CAUSAL_BLOCK
+    ):
+        return _sdpa_causal_blocked(q, k, v, dropout_p=dropout_p, training=training, scale=scale)
+    if is_causal and mask is None:
+        mask = cached_causal_mask(q.shape[-2], k.shape[-2])
+    q_data, k_data, v_data = q.data, k.data, v.data
+    if scale is None:
+        scale = 1.0 / np.sqrt(q_data.shape[-1])
+    # The softmax runs entirely inside the ``scores`` buffer and every
+    # elementwise pass over the (..., q_len, kv_len) array is either in place
+    # or skipped: the scale is folded into the (much smaller) query before
+    # the matmul, and the max-shift subtraction only happens when the scores
+    # are actually large enough to overflow ``exp``.
+    scaled_q = q_data * scale
+    scores = scaled_q @ np.swapaxes(k_data, -1, -2)
+    if mask is not None:
+        np.copyto(scores, -1e9, where=mask)
+    row_max = scores.max(axis=-1, keepdims=True)
+    if row_max.max() > 50.0 or row_max.min() < -50.0:
+        scores -= row_max
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    attention = scores
+    if dropout_p > 0.0 and training:
+        keep = 1.0 - dropout_p
+        drop_mask = (np.random.random(attention.shape) < keep).astype(attention.dtype) / keep
+        dropped = attention * drop_mask
+    else:
+        drop_mask = None
+        dropped = attention
+    out = dropped @ v_data
+
+    def backward(grad: np.ndarray) -> None:
+        if v.requires_grad:
+            v._accumulate_owned(np.swapaxes(dropped, -1, -2) @ grad)
+        if not (q.requires_grad or k.requires_grad):
+            return
+        grad_attention = grad @ np.swapaxes(v_data, -1, -2)
+        if drop_mask is not None:
+            grad_attention *= drop_mask
+        # Fused multiply-reduce: no (..., q_len, kv_len) temporary.
+        dot = np.einsum("...ij,...ij->...i", grad_attention, attention)[..., None]
+        # grad_scores = attention * (grad_attention - dot), in place.
+        grad_scores = grad_attention
+        grad_scores -= dot
+        grad_scores *= attention
+        if mask is not None:
+            np.copyto(grad_scores, 0.0, where=mask)
+        # ``scores`` was (q * scale) @ k^T, so the scale re-enters through the
+        # small per-head arrays instead of another full pass over the scores.
+        if q.requires_grad:
+            grad_q = grad_scores @ k_data
+            grad_q *= scale
+            q._accumulate_owned(grad_q)
+        if k.requires_grad:
+            k._accumulate_owned(np.swapaxes(grad_scores, -1, -2) @ scaled_q)
+
+    result = apply_op(out, (q, k, v), backward)
+    if return_weights:
+        return result, attention
+    return result
+
+
+#: Row-block size of the block-causal attention kernel.  Blocks trade Python
+#: overhead (more blocks) against wasted masked work (fewer blocks); 64 rows
+#: keeps per-block score slabs comfortably inside the cache at tier-1 sizes.
+_CAUSAL_BLOCK = 64
+
+
+def _sdpa_causal_blocked(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    dropout_p: float = 0.0,
+    training: bool = False,
+    scale: Optional[float] = None,
+) -> Tensor:
+    """Causal attention over row blocks, skipping the masked upper triangle.
+
+    Rows ``[r0, r1)`` of the query only attend to keys ``[0, r1)``, so each
+    block computes a ``(r1 - r0, r1)`` score slab instead of a full
+    ``(q_len, kv_len)`` row; summed over blocks this does ~55% of the
+    all-pairs work (down to 50% as blocks shrink).  Only the ``(rb, rb)``
+    diagonal corner of each slab needs masking.
+    """
+    q_data, k_data, v_data = q.data, k.data, v.data
+    length = q_data.shape[-2]
+    if scale is None:
+        scale = 1.0 / np.sqrt(q_data.shape[-1])
+    scaled_q = q_data * scale
+    out = np.empty(q_data.shape[:-1] + (v_data.shape[-1],), dtype=q_data.dtype)
+    starts = list(range(0, length, _CAUSAL_BLOCK))
+    blocks = []  # (r0, r1, attention_slab, drop_mask_slab)
+    for r0 in starts:
+        r1 = min(r0 + _CAUSAL_BLOCK, length)
+        rb = r1 - r0
+        scores = scaled_q[..., r0:r1, :] @ np.swapaxes(k_data[..., :r1, :], -1, -2)
+        corner = cached_causal_mask(rb, rb)
+        if corner is not None:
+            np.copyto(scores[..., r0:r1], -1e9, where=corner)
+        row_max = scores.max(axis=-1, keepdims=True)
+        if row_max.max() > 50.0 or row_max.min() < -50.0:
+            scores -= row_max
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        if dropout_p > 0.0 and training:
+            keep = 1.0 - dropout_p
+            drop_mask = (np.random.random(scores.shape) < keep).astype(scores.dtype) / keep
+            dropped = scores * drop_mask
+        else:
+            drop_mask = None
+            dropped = scores
+        out[..., r0:r1, :] = dropped @ v_data[..., :r1, :]
+        blocks.append((r0, r1, scores, drop_mask))
+
+    def backward(grad: np.ndarray) -> None:
+        need_qk = q.requires_grad or k.requires_grad
+        grad_q = np.zeros_like(q_data) if q.requires_grad else None
+        grad_k = np.zeros_like(k_data) if k.requires_grad else None
+        grad_v = np.zeros_like(v_data) if v.requires_grad else None
+        for r0, r1, attention, drop_mask in blocks:
+            rb = r1 - r0
+            grad_block = grad[..., r0:r1, :]
+            dropped_blk = attention * drop_mask if drop_mask is not None else attention
+            if grad_v is not None:
+                grad_v[..., :r1, :] += np.swapaxes(dropped_blk, -1, -2) @ grad_block
+            if not need_qk:
+                continue
+            grad_attention = grad_block @ np.swapaxes(v_data[..., :r1, :], -1, -2)
+            if drop_mask is not None:
+                grad_attention *= drop_mask
+            dot = np.einsum("...ij,...ij->...i", grad_attention, attention)[..., None]
+            grad_scores = grad_attention
+            grad_scores -= dot
+            grad_scores *= attention
+            corner = cached_causal_mask(rb, rb)
+            if corner is not None:
+                np.copyto(grad_scores[..., r0:r1], 0.0, where=corner)
+            if grad_q is not None:
+                gq = grad_scores @ k_data[..., :r1, :]
+                gq *= scale
+                grad_q[..., r0:r1, :] = gq
+            if grad_k is not None:
+                grad_k[..., :r1, :] += np.swapaxes(grad_scores, -1, -2) @ scaled_q[..., r0:r1, :]
+        if grad_q is not None:
+            q._accumulate_owned(grad_q)
+        if grad_k is not None:
+            k._accumulate_owned(grad_k)
+        if grad_v is not None:
+            v._accumulate_owned(grad_v)
+
+    return apply_op(out, (q, k, v), backward)
+
+
+def gather_rows(x: Tensor, batch_index, row_index) -> Tensor:
+    """``x[batch_index, row_index]`` as a single tape node.
+
+    ``x`` is ``(batch, seq, features)`` and the two index arrays select ``K``
+    rows, producing ``(K, features)``.  The composed formulation — one
+    ``__getitem__`` node per row plus a ``stack`` over all of them — records
+    ``K + 1`` tape nodes; this kernel records one, with a scatter-add
+    backward.  Used by ``BIGCity.forward_prompts`` to pull the task-placeholder
+    and data rows out of the backbone output.
+    """
+    batch_idx = np.asarray(batch_index, dtype=np.int64).reshape(-1)
+    row_idx = np.asarray(row_index, dtype=np.int64).reshape(-1)
+    if batch_idx.shape != row_idx.shape:
+        raise ValueError("batch_index and row_index must have the same length")
+    out = x.data[batch_idx, row_idx]
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        full = np.zeros_like(x.data, dtype=np.float64)
+        np.add.at(full, (batch_idx, row_idx), grad)
+        x._accumulate_owned(full)
+
+    return apply_op(out, (x,), backward)
+
+
+_CAUSAL_MASK_CACHE: Dict[Tuple[int, int, int], Optional[np.ndarray]] = {}
+
+
 def causal_mask(length: int) -> np.ndarray:
     """Boolean mask that is ``True`` above the diagonal (positions to hide)."""
     return np.triu(np.ones((length, length), dtype=bool), k=1)
+
+
+def cached_causal_mask(q_len: int, kv_len: int, offset: int = 0) -> Optional[np.ndarray]:
+    """Shared, read-only causal mask for queries at ``offset .. offset+q_len``.
+
+    Entry ``(i, j)`` is ``True`` when key ``j`` lies in the future of query
+    ``offset + i`` (the KV-cached decoding case where cached keys precede the
+    new queries).  Returns ``None`` when nothing would be masked — e.g. a
+    single-token decode step attending over its full prefix — so callers can
+    skip the masking branch entirely.  Masks are cached per shape; repeated
+    forward passes at the same lengths reuse one immutable array instead of
+    allocating a fresh ``(1, 1, q_len, kv_len)`` buffer per call.
+    """
+    key = (q_len, kv_len, offset)
+    cached = _CAUSAL_MASK_CACHE.get(key, False)
+    if cached is not False:
+        return cached
+    if len(_CAUSAL_MASK_CACHE) > 512:
+        _CAUSAL_MASK_CACHE.clear()
+    positions = np.arange(kv_len)[None, :] > (offset + np.arange(q_len))[:, None]
+    if positions.any():
+        mask = positions[None, None]
+        mask.setflags(write=False)
+    else:
+        mask = None
+    _CAUSAL_MASK_CACHE[key] = mask
+    return mask
 
 
 def padding_mask(lengths: Sequence[int], max_length: Optional[int] = None) -> np.ndarray:

@@ -9,7 +9,7 @@ import numpy as np
 from repro.nn import functional as F
 from repro.nn import init
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, fused_enabled
 
 
 class Linear(Module):
@@ -74,11 +74,9 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((normalized_shape,)))
 
     def forward(self, x: Tensor) -> Tensor:
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        variance = (centered * centered).mean(axis=-1, keepdims=True)
-        normalised = centered / (variance + self.eps).sqrt()
-        return normalised * self.weight + self.bias
+        if fused_enabled():
+            return F.fused_layer_norm(x, self.weight, self.bias, eps=self.eps)
+        return F.layer_norm_composed(x, self.weight, self.bias, eps=self.eps)
 
 
 class Dropout(Module):
@@ -101,7 +99,7 @@ class ReLU(Module):
 
 class GELU(Module):
     def forward(self, x: Tensor) -> Tensor:
-        return x.gelu()
+        return F.gelu(x)
 
 
 class Tanh(Module):

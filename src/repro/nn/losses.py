@@ -6,7 +6,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, fused_enabled
 
 
 def _ensure_tensor(value) -> Tensor:
@@ -17,8 +18,11 @@ def cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
     """Cross-entropy between raw ``logits`` and integer class ``targets``.
 
     ``logits`` has shape ``(..., num_classes)`` and ``targets`` the matching
-    leading shape of integer labels.
+    leading shape of integer labels.  Uses the single-node fused kernel
+    (logits -> loss with analytic gradient) unless fusion is disabled.
     """
+    if fused_enabled():
+        return F.fused_cross_entropy(logits, targets, reduction=reduction)
     targets = np.asarray(targets.data if isinstance(targets, Tensor) else targets, dtype=np.int64)
     log_probs = logits.log_softmax(axis=-1)
     flat = log_probs.reshape(-1, logits.shape[-1])

@@ -23,6 +23,8 @@ ArrayLike = Union[np.ndarray, float, int, list, tuple, "Tensor"]
 
 _GRAD_ENABLED = True
 
+_FUSED_ENABLED = True
+
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when operations record gradient information."""
@@ -39,6 +41,37 @@ def no_grad():
         yield
     finally:
         _GRAD_ENABLED = previous
+
+
+def fused_enabled() -> bool:
+    """Return ``True`` when the fused fast-path kernels are active."""
+    return _FUSED_ENABLED
+
+
+def set_fused_enabled(enabled: bool) -> None:
+    """Globally enable/disable the fused kernels (used by the perf harness)."""
+    global _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+
+
+@contextlib.contextmanager
+def fused_kernels(enabled: bool = True):
+    """Context manager selecting the fused or the composed (legacy) engine path.
+
+    The composed path records every softmax / layer-norm / attention step as
+    separate tape nodes exactly like the original engine; the fused path
+    collapses each of those patterns into a single node with an analytic
+    backward.  Both produce the same values and gradients (see
+    ``tests/test_nn_fused.py``), so this switch exists for A/B benchmarking
+    and for debugging suspected kernel issues.
+    """
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSED_ENABLED = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -62,6 +95,29 @@ def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if array.dtype == np.float16:
         array = array.astype(np.float32)
     return array
+
+
+def apply_op(
+    data: np.ndarray,
+    parents: Sequence["Tensor"],
+    backward: Callable[[np.ndarray], None],
+) -> "Tensor":
+    """Create a tensor recorded as ONE tape node over ``parents``.
+
+    This is the building block of the fused kernels in
+    :mod:`repro.nn.functional`: an arbitrary composite computation (attention,
+    layer-norm, cross-entropy, ...) runs its forward pass in plain NumPy and
+    registers a single ``backward`` closure that pushes gradients to every
+    parent via ``Tensor._accumulate``, instead of recording 5-10 intermediate
+    nodes with full-size temporaries.
+    """
+    parents = tuple(p for p in parents if isinstance(p, Tensor))
+    requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+    out = Tensor(data, requires_grad=requires)
+    if requires:
+        out._parents = parents
+        out._backward = backward
+    return out
 
 
 class Tensor:
@@ -161,6 +217,24 @@ class Tensor:
             self.grad = grad.copy()
         else:
             self.grad = self.grad + grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient buffer whose ownership transfers to this tensor.
+
+        The fused kernels hand in freshly allocated arrays that nothing else
+        references, so the defensive copy of :meth:`_accumulate` (and its
+        re-broadcast check) would be pure overhead; the buffer is adopted
+        directly on first accumulation and added in place afterwards.  Callers
+        must pass a float array of exactly ``self.shape`` that they will not
+        touch again.
+        """
+        if grad.shape != self.data.shape:
+            self._accumulate(grad)
+            return
+        if self.grad is None:
+            self.grad = grad
+        else:
+            self.grad += grad
 
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
         """Backpropagate from this tensor.

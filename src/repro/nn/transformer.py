@@ -11,14 +11,14 @@ baseline models that need one (Toast, START, RNTrajRec, ...).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import KVCache, MultiHeadAttention
 from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear
 from repro.nn.module import Module, ModuleList
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 
 class FeedForward(Module):
@@ -54,8 +54,13 @@ class TransformerBlock(Module):
         self.ln_2 = LayerNorm(d_model)
         self.mlp = FeedForward(d_model, d_ff, dropout=dropout, rng=rng)
 
-    def forward(self, x: Tensor, padding_mask: Optional[np.ndarray] = None) -> Tensor:
-        x = x + self.attn(self.ln_1(x), padding_mask=padding_mask)
+    def forward(
+        self,
+        x: Tensor,
+        padding_mask: Optional[np.ndarray] = None,
+        cache: Optional[KVCache] = None,
+    ) -> Tensor:
+        x = x + self.attn(self.ln_1(x), padding_mask=padding_mask, cache=cache)
         x = x + self.mlp(self.ln_2(x))
         return x
 
@@ -129,28 +134,48 @@ class GPT2Model(Module):
             raise RuntimeError("backbone was built without a token vocabulary")
         return self.token_embedding(token_ids)
 
+    def new_caches(self) -> List[KVCache]:
+        """Fresh per-layer KV caches for autoregressive decoding."""
+        return [KVCache() for _ in self.blocks]
+
     def forward(
         self,
         embeddings: Tensor,
         padding_mask: Optional[np.ndarray] = None,
         add_positions: bool = True,
+        caches: Optional[List[KVCache]] = None,
     ) -> Tensor:
-        """Run the transformer over ``(batch, seq, d_model)`` embeddings."""
+        """Run the transformer over ``(batch, seq, d_model)`` embeddings.
+
+        With ``caches`` (from :meth:`new_caches`) only the *new* positions are
+        passed in; keys/values of earlier calls are reused so a decode step is
+        O(prefix) instead of O(prefix^2).  Cached forwards are inference-only
+        and must run under ``no_grad``.
+        """
         batch, length, d_model = embeddings.shape
         if d_model != self.config.d_model:
             raise ValueError(f"expected embedding dim {self.config.d_model}, got {d_model}")
-        if length > self.config.max_position:
+        offset = 0
+        if caches is not None:
+            if is_grad_enabled():
+                raise RuntimeError(
+                    "KV-cached decoding is an inference fast path; wrap the call in no_grad()"
+                )
+            if len(caches) != len(self.blocks):
+                raise ValueError(f"expected {len(self.blocks)} caches, got {len(caches)}")
+            offset = caches[0].length
+        if offset + length > self.config.max_position:
             raise ValueError(
-                f"sequence length {length} exceeds max_position {self.config.max_position}"
+                f"sequence length {offset + length} exceeds max_position {self.config.max_position}"
             )
         x = embeddings
         if add_positions:
-            positions = np.arange(length)
+            positions = np.arange(offset, offset + length)
             pos = self.position_embedding(positions).reshape(1, length, d_model)
             x = x + pos
         x = self.drop(x)
-        for block in self.blocks:
-            x = block(x, padding_mask=padding_mask)
+        for index, block in enumerate(self.blocks):
+            x = block(x, padding_mask=padding_mask, cache=caches[index] if caches is not None else None)
         return self.ln_f(x)
 
     def hidden_size(self) -> int:

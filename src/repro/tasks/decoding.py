@@ -25,11 +25,30 @@ from repro.roadnet.network import RoadNetwork
 
 __all__ = [
     "constrained_next_hop_ranking",
+    "greedy_next_hop",
     "forward_hop_distances",
     "backward_hop_distances",
     "gap_candidates",
     "constrained_recovery_choice",
 ]
+
+
+def greedy_next_hop(
+    scores: np.ndarray,
+    last_segment: int,
+    network: Optional[RoadNetwork] = None,
+) -> int:
+    """Pick the single best next segment for one autoregressive rollout step.
+
+    With a ``network`` this is the top-1 entry of
+    :func:`constrained_next_hop_ranking` (graph successors of
+    ``last_segment`` win over unreachable segments); without one it is the
+    plain argmax.  Used by ``BIGCity.rollout_next_hops`` to choose the token
+    appended at each KV-cached decode step.
+    """
+    if network is None:
+        return int(np.argmax(np.asarray(scores, dtype=np.float64).reshape(-1)))
+    return int(constrained_next_hop_ranking(scores, last_segment, network, top_k=1)[0])
 
 
 def constrained_next_hop_ranking(

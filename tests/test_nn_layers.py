@@ -131,7 +131,7 @@ class TestAttention:
         assert np.allclose(out_a[0, :2], out_b[0, :2], atol=1e-9)
 
     def test_attention_weights_normalised(self):
-        attn = MultiHeadAttention(8, 2)
+        attn = MultiHeadAttention(8, 2, record_attention=True)
         attn.eval()
         attn(Tensor(np.random.default_rng(3).standard_normal((2, 5, 8))))
         assert np.allclose(attn.last_attention.sum(axis=-1), 1.0)
