@@ -5,12 +5,16 @@ Usage::
 
     python scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
 
-Every numeric metric shared by both reports is compared.  Metrics measured
-in seconds (``seconds``, ``*_s``) regress when they grow; rate/ratio metrics
-(``speedup``, ``*_per_s``) regress when they shrink.  A relative change
-beyond the threshold (default 10%) is flagged and the exit code is 1, so the
-script can gate CI.  Reports with different ``config_id`` values measure
-different workloads; they are still diffed, but a warning is printed.
+Every numeric metric of every benchmark section present in *both* reports is
+compared; sections that exist in only one report (perfbench grows new
+sections over time, so an old baseline is expected to miss some) are listed
+as skipped instead of silently ignored or treated as regressions.  Metrics
+measured in seconds (``seconds``, ``*_s``) regress when they grow;
+rate/ratio metrics (``speedup``, ``*_per_s``) regress when they shrink.  A
+relative change beyond the threshold (default 10%) is flagged and the exit
+code is 1, so the script can gate CI.  Reports with different ``config_id``
+values measure different workloads; they are still diffed, but a warning is
+printed.
 """
 
 from __future__ import annotations
@@ -40,11 +44,22 @@ def _iter_metrics(results: Dict) -> Iterator[Tuple[str, str, float]]:
             yield bench_name, metric_name, float(value)
 
 
-def compare(baseline: Dict, candidate: Dict, threshold: float) -> Tuple[list, list]:
-    """Return ``(rows, regressions)`` comparing the two report dicts."""
+def compare(baseline: Dict, candidate: Dict, threshold: float) -> Tuple[list, list, Dict[str, list]]:
+    """Return ``(rows, regressions, skipped)`` comparing the two report dicts.
+
+    ``skipped`` maps ``"baseline_only"`` / ``"candidate_only"`` to the sorted
+    benchmark sections that appear in just one report and are therefore not
+    compared.
+    """
+    baseline_results = baseline.get("results", {})
     candidate_results = candidate.get("results", {})
+    shared = {name: metrics for name, metrics in baseline_results.items() if name in candidate_results}
+    skipped = {
+        "baseline_only": sorted(set(baseline_results) - set(candidate_results)),
+        "candidate_only": sorted(set(candidate_results) - set(baseline_results)),
+    }
     rows, regressions = [], []
-    for bench, metric, base_value in _iter_metrics(baseline.get("results", {})):
+    for bench, metric, base_value in _iter_metrics(shared):
         cand_value = candidate_results.get(bench, {}).get(metric)
         if not isinstance(cand_value, (int, float)):
             continue
@@ -58,7 +73,7 @@ def compare(baseline: Dict, candidate: Dict, threshold: float) -> Tuple[list, li
         rows.append((bench, metric, base_value, float(cand_value), change, flagged))
         if flagged:
             regressions.append((bench, metric, change))
-    return rows, regressions
+    return rows, regressions, skipped
 
 
 def main(argv=None) -> int:
@@ -82,7 +97,13 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
 
-    rows, regressions = compare(baseline, candidate, args.threshold)
+    rows, regressions, skipped = compare(baseline, candidate, args.threshold)
+    for origin, sections in sorted(skipped.items()):
+        if sections:
+            print(
+                f"skipped sections ({origin.replace('_', ' ')}, not compared): "
+                + ", ".join(sections)
+            )
     if not rows:
         print("no comparable metrics found", file=sys.stderr)
         return 2

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Fast test tier: every unit test plus the engine perf gate, none of the
+# training-heavy table/figure benchmarks (those carry the `slow` marker).
+#
+# Usage: scripts/fasttests.sh [extra pytest args...]
+#
+# Runs in well under a minute; the full tier-1 suite (including the slow
+# benchmarks that retrain models for every paper table) is
+#   PYTHONPATH=src python -m pytest -x -q
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -m "not slow" -q "$@"

@@ -171,18 +171,32 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         for name, spec in EXPERIMENTS.items():
             _print(f"{name:10s} {spec.paper_reference:12s} {spec.description}")
         return 0
-    if not args.name:
+    names = list(args.name or [])
+    if not names:
         _print("an experiment name is required (see --list)", stream=sys.stderr)
         return 2
-    spec = get_experiment(args.name)
-    context = ExperimentContext(get_profile(args.profile))
-    result = spec.runner(context)
-    tables = _tables_from_result(result)
+
+    from repro.eval.parallel import resolve_workers
+    from repro.eval.registry import run_registered
+
+    workers = resolve_workers(args.workers)
+    if len(names) == 1 and workers <= 1:
+        # In-process path: shares one ExperimentContext (model cache) exactly
+        # as before parallel evaluation existed.
+        spec = get_experiment(names[0])
+        context = ExperimentContext(get_profile(args.profile))
+        results = {names[0]: spec.runner(context)}
+    else:
+        # Sharded path: unknown ids are rejected up front, then one seeded
+        # worker process runs each experiment unit and the results merge
+        # deterministically (see repro.eval.parallel).
+        results = run_registered(names, profile_name=args.profile, num_workers=workers)
     payload = []
-    for table in tables:
-        _print(table.to_text())
-        _print("")
-        payload.append(table.to_dict())
+    for name in names:
+        for table in _tables_from_result(results[name]):
+            _print(table.to_text())
+            _print("")
+            payload.append(table.to_dict())
     if args.output:
         path = Path(args.output)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -237,11 +251,17 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--json", action="store_true")
     evaluate.set_defaults(func=cmd_evaluate)
 
-    experiment = subparsers.add_parser("experiment", help="regenerate one paper table/figure")
-    experiment.add_argument("name", nargs="?", default=None, help="experiment id, e.g. table3 or fig1")
+    experiment = subparsers.add_parser("experiment", help="regenerate paper tables/figures")
+    experiment.add_argument("name", nargs="*", default=None, help="experiment id(s), e.g. table3 fig1")
     experiment.add_argument("--list", action="store_true", help="list registered experiments")
     experiment.add_argument("--profile", default=None, help="benchmark profile (quick/full/smoke)")
     experiment.add_argument("--output", default=None, help="save the result tables as JSON")
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard experiments over N processes (default: $REPRO_EVAL_WORKERS or 1)",
+    )
     experiment.set_defaults(func=cmd_experiment)
 
     radar = subparsers.add_parser("radar", help="render the Figure 1 radar chart as text")

@@ -90,11 +90,13 @@ class BIGCityBackbone(Module):
         embeddings: Tensor,
         padding_mask: Optional[np.ndarray] = None,
         caches=None,
+        position_ids: Optional[np.ndarray] = None,
     ) -> Tensor:
         """Run the causal transformer over an embedded prompt sequence (Eq. 10).
 
         ``caches`` enables KV-cached incremental decoding (inference only):
         pass only the new positions and the attention layers reuse the cached
-        prefix keys/values.
+        prefix keys/values.  ``position_ids`` gives per-row positional indices
+        (batched decoding over rows of different prompt lengths).
         """
-        return self.llm(embeddings, padding_mask=padding_mask, caches=caches)
+        return self.llm(embeddings, padding_mask=padding_mask, caches=caches, position_ids=position_ids)

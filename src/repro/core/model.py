@@ -42,7 +42,7 @@ from repro.tasks.decoding import (
     constrained_next_hop_ranking,
     constrained_recovery_choice,
     gap_candidates,
-    greedy_next_hop,
+    greedy_next_hop_batch,
 )
 
 
@@ -431,61 +431,151 @@ class BIGCity(Module):
         from scratch — O(prefix²).  ``use_cache=False`` keeps the re-encoding
         path available for equivalence tests and benchmarking; both paths see
         byte-identical input sequences and therefore produce identical logits.
+
+        This is the single-trajectory view of :meth:`rollout_next_hops_batch`.
+        """
+        return self.rollout_next_hops_batch(
+            [trajectory],
+            steps=steps,
+            use_cache=use_cache,
+            constrain_to_network=constrain_to_network,
+        )[0]
+
+    def rollout_next_hops_batch(
+        self,
+        trajectories: Sequence[Trajectory],
+        steps: int = 1,
+        use_cache: bool = True,
+        constrain_to_network: bool = True,
+    ) -> List[np.ndarray]:
+        """Autoregressively extend ``N`` trajectories through ONE padded batch.
+
+        All prompts are assembled into a single right-padded batch (padded key
+        positions are excluded from attention, so a row never sees another
+        row's padding) and every decode step pushes one ``(N, 2, d_model)``
+        slab through the KV-cached backbone instead of ``N`` separate
+        2-token forwards.  Because rows have different prompt lengths, the two
+        new tokens of row ``i`` live at *physical* cache slots shared by the
+        whole batch but carry row ``i``'s own positional indices
+        (``position_ids``) — logically each row continues its own sequence
+        exactly as in the per-trajectory rollout, and the chosen segments
+        match :meth:`rollout_next_hops` trajectory-for-trajectory (see
+        ``tests/test_core_model.py``).
+
+        Returns one ``(steps,)`` array of segment ids per input trajectory.
         """
         if steps < 1:
             raise ValueError("steps must be >= 1")
-        sequence = self.sequence_from_trajectory(trajectory)
-        timestamps = np.asarray(sequence.timestamps, dtype=np.float64)
-        interval = float(np.diff(timestamps).mean()) if len(timestamps) >= 2 else self.time_scale
-        last_time = float(timestamps[-1])
-        current_segment = int(sequence.segment_ids[-1])
+        if not trajectories:
+            return []
+        sequences = [self.sequence_from_trajectory(t) for t in trajectories]
+        intervals: List[float] = []
+        last_times: List[float] = []
+        for sequence in sequences:
+            timestamps = np.asarray(sequence.timestamps, dtype=np.float64)
+            intervals.append(
+                float(np.diff(timestamps).mean()) if len(timestamps) >= 2 else self.time_scale
+            )
+            last_times.append(float(timestamps[-1]))
+        current = np.asarray([int(s.segment_ids[-1]) for s in sequences], dtype=np.int64)
         network = self.network if constrain_to_network else None
+        batch_size = len(sequences)
+        d_model = self.config.d_model
 
         with no_grad():
-            st_tokens = self.tokenizer.encode_batch([sequence])[0]
+            st_token_list = self.tokenizer.encode_batch(sequences)
             static_cache = (
                 self.tokenizer.static_representations()
                 if self.tokenizer.has_static_encoder
                 else None
             )
-            # The initial decode prompt uses the canonical assembly (same
-            # instruction/data/task-token layout the segment head was trained
-            # on); only the per-step appends below are decode-specific.
-            prompt = Prompt(
-                task=TaskType.NEXT_HOP,
-                sequence=sequence,
-                placeholders=(CLAS,),
-                anchors=(TaskAnchor(kind="data", position=len(sequence) - 1),),
-                metadata={"source_id": sequence.source_id},
-            )
-            rows, _, _ = self._assemble_prompt(prompt, st_tokens, static_cache=static_cache)
+            # Canonical next-hop prompt assembly per row (same layout the
+            # segment head was trained on); only the per-step appends below
+            # are decode-specific.
+            rows_list: List[List[Tensor]] = []
+            for sequence, st_tokens in zip(sequences, st_token_list):
+                prompt = Prompt(
+                    task=TaskType.NEXT_HOP,
+                    sequence=sequence,
+                    placeholders=(CLAS,),
+                    anchors=(TaskAnchor(kind="data", position=len(sequence) - 1),),
+                    metadata={"source_id": sequence.source_id},
+                )
+                rows, _, _ = self._assemble_prompt(prompt, st_tokens, static_cache=static_cache)
+                rows_list.append(rows)
+            lengths = np.asarray([len(rows) for rows in rows_list], dtype=np.int64)
 
+            def padded_batch() -> Tuple[Tensor, Optional[np.ndarray]]:
+                max_length = int(lengths.max())
+                zero_row = Tensor(np.zeros(d_model))
+                padded: List[Tensor] = []
+                mask = np.zeros((batch_size, max_length), dtype=bool)
+                for index, rows in enumerate(rows_list):
+                    padding = [zero_row] * (max_length - len(rows))
+                    padded.append(Tensor.stack(rows + padding, axis=0))
+                    mask[index, len(rows):] = True
+                stacked = Tensor.stack(padded, axis=0)
+                return stacked, (mask if mask.any() else None)
+
+            batch, pad_mask = padded_batch()
+            prefill_length = batch.shape[1]
             caches = self.backbone.new_caches() if use_cache else None
-            hidden = self.backbone(
-                Tensor.stack(rows, axis=0).reshape(1, len(rows), -1), caches=caches
-            )
-            chosen: List[int] = []
+            hidden = self.backbone(batch, padding_mask=pad_mask, caches=caches)
+
+            def task_logits(task_positions: np.ndarray) -> np.ndarray:
+                rows = F.gather_rows(hidden, np.arange(batch_size), task_positions)
+                return self.heads.classification_logits(rows, family="segment").data
+
+            chosen: List[np.ndarray] = []
+            logits = task_logits(lengths - 1)
             for step in range(steps):
-                logits = self.heads.classification_logits(
-                    hidden[0, hidden.shape[1] - 1].reshape(1, -1), family="segment"
-                ).data[0]
-                current_segment = greedy_next_hop(logits, current_segment, network)
-                chosen.append(current_segment)
+                current = greedy_next_hop_batch(logits, current, network)
+                chosen.append(current.copy())
                 if step == steps - 1:
                     break
-                data_token = self.tokenizer.encode_partial(
-                    segment_id=current_segment,
-                    timestamp=last_time + (step + 1) * interval,
-                    static_cache=static_cache,
-                )
-                task_token = self.clas_token + data_token
+                data_tokens = [
+                    self.tokenizer.encode_partial(
+                        segment_id=int(segment),
+                        timestamp=last_times[index] + (step + 1) * intervals[index],
+                        static_cache=static_cache,
+                    )
+                    for index, segment in enumerate(current)
+                ]
                 if use_cache:
-                    new_rows = Tensor.stack([data_token, task_token], axis=0).reshape(1, 2, -1)
-                    hidden = self.backbone(new_rows, caches=caches)
+                    new_rows = Tensor.stack(
+                        [
+                            Tensor.stack([token, self.clas_token + token], axis=0)
+                            for token in data_tokens
+                        ],
+                        axis=0,
+                    )
+                    # Row i's new tokens continue its own sequence: positions
+                    # L_i + 2*step + {0, 1}, while the physical cache slot is
+                    # shared batch-wide; padded key positions stay masked.
+                    positions = (lengths + 2 * step)[:, None] + np.arange(2)[None, :]
+                    kv_length = caches[0].length + 2
+                    step_mask: Optional[np.ndarray] = None
+                    if pad_mask is not None:
+                        step_mask = np.zeros((batch_size, kv_length), dtype=bool)
+                        step_mask[:, :prefill_length] = pad_mask
+                    hidden = self.backbone(
+                        new_rows,
+                        padding_mask=step_mask,
+                        caches=caches,
+                        position_ids=positions,
+                    )
+                    logits = self.heads.classification_logits(
+                        hidden[:, 1], family="segment"
+                    ).data
                 else:
-                    rows.extend([data_token, task_token])
-                    hidden = self.backbone(Tensor.stack(rows, axis=0).reshape(1, len(rows), -1))
-        return np.asarray(chosen, dtype=np.int64)
+                    for index, token in enumerate(data_tokens):
+                        rows_list[index].extend([token, self.clas_token + token])
+                    lengths = lengths + 2
+                    batch, pad_mask_step = padded_batch()
+                    hidden = self.backbone(batch, padding_mask=pad_mask_step)
+                    logits = task_logits(lengths - 1)
+        stacked = np.stack(chosen, axis=1)
+        return [stacked[index] for index in range(batch_size)]
 
     def estimate_travel_time(self, trajectories: Sequence[Trajectory]) -> np.ndarray:
         """Predicted total travel time in seconds for each trajectory."""

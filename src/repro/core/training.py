@@ -12,22 +12,34 @@ heads are updated.
 The trainers operate on laptop-scale synthetic datasets, so an "epoch" takes
 seconds; the structure (what is frozen when, which losses apply) follows the
 paper exactly.
+
+**Prompt prefetching.**  Prompt assembly is pure Python over the dataset (no
+model weights involved), so ``TrainingConfig.prefetch_prompts=True`` moves it
+to a one-worker process pool that assembles the *next* epoch's prompts while
+the current epoch's forward/backward runs.  The default stays single-process
+and bit-identical to the historical trainer; the prefetched mode draws each
+epoch's prompts from a dedicated ``(seed, epoch)`` RNG stream (it has to —
+the serial mode interleaves prompt building with batch-order draws on one
+shared generator), so it is deterministic given the seed but follows a
+different sampling stream than the serial mode.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import BIGCityConfig
 from repro.core.model import BIGCity
-from repro.core.prompts import Prompt, TaskType
+from repro.core.prompts import Prompt, PromptBuilder, TaskType
 from repro.core.st_unit import STUnitSequence, traffic_series_to_units
 from repro.data.datasets import CityDataset
 from repro.data.trajectory import Trajectory, subsample_trajectory
+from repro.data.traffic_state import TrafficStateSeries
 from repro.nn.optim import Adam, clip_grad_norm
 
 
@@ -74,6 +86,11 @@ class TrainingConfig:
     #: batches near task-homogeneous and changes the optimisation trajectory —
     #: it is a perf lever to enable deliberately, not silently.
     bucket_by_length: bool = False
+    #: Assemble the next epoch's prompts on a worker process while the current
+    #: epoch trains.  Off by default (single-process, bit-identical to the
+    #: historical trainer); see the module docstring for the RNG-stream
+    #: caveat of the prefetched mode.
+    prefetch_prompts: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -93,6 +110,136 @@ class EpochLog:
     seconds: float
 
 
+# ----------------------------------------------------------------------
+# Prompt assembly (module-level so a prefetch worker process can run it:
+# it needs the dataset and the prompt builder, never the model weights)
+# ----------------------------------------------------------------------
+def _select_trajectories(dataset: CityDataset, max_trajectories: Optional[int], rng: np.random.Generator) -> List[Trajectory]:
+    trajectories = dataset.train_trajectories
+    if max_trajectories is not None and len(trajectories) > max_trajectories:
+        index = rng.choice(len(trajectories), size=max_trajectories, replace=False)
+        trajectories = [trajectories[i] for i in index]
+    return trajectories
+
+
+def _sample_traffic_sequences(dataset: CityDataset, count: int, length: int, rng: np.random.Generator) -> List[STUnitSequence]:
+    traffic = dataset.traffic_states
+    if traffic is None or count <= 0:
+        return []
+    sequences = []
+    max_start = max(traffic.num_slices - length, 1)
+    for _ in range(count):
+        segment = int(rng.integers(0, traffic.num_segments))
+        start = int(rng.integers(0, max_start))
+        sequences.append(traffic_series_to_units(traffic, segment, start, length))
+    return sequences
+
+
+def assemble_stage1_prompts(
+    dataset: CityDataset,
+    traffic_states: Optional[TrafficStateSeries],
+    builder: PromptBuilder,
+    config: "TrainingConfig",
+    rng: np.random.Generator,
+) -> List[Prompt]:
+    """Stage-1 masked-reconstruction prompts for one epoch (Sec. VI-A)."""
+    from repro.core.st_unit import trajectory_to_units
+
+    prompts: List[Prompt] = []
+    for trajectory in _select_trajectories(dataset, config.max_trajectories, rng):
+        sequence = trajectory_to_units(trajectory, traffic_states)
+        prompts.append(builder.masked_reconstruction(sequence, config.mask_ratio, rng=rng))
+    length = config.traffic_history + config.traffic_horizon
+    for sequence in _sample_traffic_sequences(dataset, config.traffic_sequences_per_epoch, length, rng):
+        prompts.append(builder.masked_reconstruction(sequence, config.mask_ratio, rng=rng))
+    return prompts
+
+
+def assemble_stage2_prompts(
+    dataset: CityDataset,
+    traffic_states: Optional[TrafficStateSeries],
+    builder: PromptBuilder,
+    config: "TrainingConfig",
+    tasks: Tuple[TaskType, ...],
+    rng: np.random.Generator,
+) -> List[Prompt]:
+    """The stage-2 "full training set": prompts from every enabled task (Sec. VI-B)."""
+    from repro.core.st_unit import trajectory_to_units
+
+    prompts: List[Prompt] = []
+    trajectories = _select_trajectories(dataset, config.max_trajectories, rng)
+    classification_target = "user" if dataset.has_dynamic_features else "pattern"
+
+    for trajectory in trajectories:
+        sequence = trajectory_to_units(trajectory, traffic_states)
+        if TaskType.NEXT_HOP in tasks and len(sequence) >= 3:
+            prompts.append(builder.next_hop(sequence))
+            # Augment with prompts cut at random intermediate positions so
+            # the successor structure of the road graph is seen from many
+            # contexts, not only full-length prefixes.
+            if len(sequence) > 3 and config.next_hop_augmentation > 0:
+                cuts = rng.choice(
+                    np.arange(3, len(sequence)),
+                    size=min(config.next_hop_augmentation, len(sequence) - 3),
+                    replace=False,
+                )
+                for cut in cuts:
+                    prompts.append(builder.next_hop(sequence.slice(0, int(cut))))
+        if TaskType.TRAVEL_TIME in tasks:
+            prompts.append(builder.travel_time(sequence))
+        if TaskType.CLASSIFICATION in tasks:
+            prompts.append(builder.classification(sequence, target=classification_target))
+        if TaskType.RECOVERY in tasks and len(sequence) >= 5:
+            _, kept = subsample_trajectory(trajectory, config.recovery_keep_ratio, rng=rng)
+            prompts.append(builder.recovery(sequence, kept))
+
+    traffic = dataset.traffic_states
+    if traffic is not None:
+        history = config.traffic_history
+        horizon = config.traffic_horizon
+        count = config.traffic_sequences_per_epoch
+        want_traffic = (
+            TaskType.TRAFFIC_ONE_STEP in tasks
+            or TaskType.TRAFFIC_MULTI_STEP in tasks
+            or TaskType.TRAFFIC_IMPUTATION in tasks
+        )
+        if want_traffic:
+            max_start = max(traffic.num_slices - history - horizon, 1)
+            for _ in range(count):
+                segment = int(rng.integers(0, traffic.num_segments))
+                start = int(rng.integers(0, max_start))
+                history_seq = traffic_series_to_units(traffic, segment, start, history)
+                target = traffic.segment_series(segment)[start + history : start + history + horizon]
+                if TaskType.TRAFFIC_MULTI_STEP in tasks:
+                    prompts.append(builder.traffic_prediction(history_seq, target, multi_step=True))
+                if TaskType.TRAFFIC_ONE_STEP in tasks:
+                    prompts.append(builder.traffic_prediction(history_seq, target[:1], multi_step=False))
+                if TaskType.TRAFFIC_IMPUTATION in tasks:
+                    full_seq = traffic_series_to_units(traffic, segment, start, history + horizon)
+                    num_masked = max(1, int(round(config.imputation_mask_ratio * len(full_seq))))
+                    masked = rng.choice(len(full_seq), size=num_masked, replace=False)
+                    prompts.append(builder.traffic_imputation(full_seq, masked))
+    return prompts
+
+
+#: Per-process state of the prompt-prefetch worker: ``(assemble_fn, args)``.
+#: Installed once by the pool initializer so the dataset/builder arguments are
+#: pickled to the worker a single time, not once per epoch.
+_PREFETCH_STATE: Optional[Tuple[Callable, Tuple]] = None
+
+
+def _prefetch_initializer(assemble_fn: Callable, args: Tuple) -> None:
+    global _PREFETCH_STATE
+    _PREFETCH_STATE = (assemble_fn, args)
+
+
+def _assemble_with_stream(seed: int, stream_tag: int, epoch: int) -> List[Prompt]:
+    """Prefetch-worker entry point: build one epoch's prompts on a fresh RNG stream."""
+    assemble_fn, args = _PREFETCH_STATE
+    rng = np.random.default_rng([abs(int(seed)), int(stream_tag), int(epoch)])
+    return assemble_fn(*args, rng)
+
+
 class _TrainerBase:
     def __init__(self, model: BIGCity, dataset: CityDataset, config: Optional[TrainingConfig] = None) -> None:
         self.model = model
@@ -103,24 +250,48 @@ class _TrainerBase:
 
     # ------------------------------------------------------------------
     def _train_trajectories(self) -> List[Trajectory]:
-        trajectories = self.dataset.train_trajectories
-        limit = self.config.max_trajectories
-        if limit is not None and len(trajectories) > limit:
-            index = self._rng.choice(len(trajectories), size=limit, replace=False)
-            trajectories = [trajectories[i] for i in index]
-        return trajectories
+        return _select_trajectories(self.dataset, self.config.max_trajectories, self._rng)
 
     def _traffic_sequences(self, count: int, length: int) -> List[STUnitSequence]:
-        traffic = self.dataset.traffic_states
-        if traffic is None or count <= 0:
-            return []
-        sequences = []
-        max_start = max(traffic.num_slices - length, 1)
-        for _ in range(count):
-            segment = int(self._rng.integers(0, traffic.num_segments))
-            start = int(self._rng.integers(0, max_start))
-            sequences.append(traffic_series_to_units(traffic, segment, start, length))
-        return sequences
+        return _sample_traffic_sequences(self.dataset, count, length, self._rng)
+
+    # ------------------------------------------------------------------
+    def _prompt_spec(self) -> Tuple[Callable, Tuple, int]:
+        """``(assemble_fn, args, stream_tag)`` describing this trainer's prompt builder.
+
+        ``assemble_fn(*args, rng)`` must be picklable (module-level function,
+        dataset/builder/config arguments) so the prefetch worker can run it.
+        """
+        raise NotImplementedError
+
+    def _epoch_prompt_lists(self, epochs: int) -> Iterator[List[Prompt]]:
+        """Yield one prompt list per epoch, prefetching one epoch ahead when enabled.
+
+        The default path builds prompts inline with the trainer's shared RNG —
+        the exact draws (and therefore the exact optimisation trajectory) of
+        the historical single-process trainer.  With
+        ``config.prefetch_prompts`` a one-worker process pool assembles epoch
+        ``e+1`` while epoch ``e`` trains; each epoch then uses its own
+        ``(seed, stage, epoch)`` stream so the schedule is deterministic no
+        matter how the overlap lands.
+        """
+        assemble_fn, args, stream_tag = self._prompt_spec()
+        if not self.config.prefetch_prompts:
+            for _ in range(epochs):
+                yield assemble_fn(*args, self._rng)
+            return
+        pool: Executor = ProcessPoolExecutor(
+            max_workers=1, initializer=_prefetch_initializer, initargs=(assemble_fn, args)
+        )
+        try:
+            future = pool.submit(_assemble_with_stream, self.config.seed, stream_tag, 0)
+            for epoch in range(epochs):
+                prompts = future.result()
+                if epoch + 1 < epochs:
+                    future = pool.submit(_assemble_with_stream, self.config.seed, stream_tag, epoch + 1)
+                yield prompts
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _batched_order(self, prompts: List[Prompt]) -> List[np.ndarray]:
         """Shuffled per-batch index groups, optionally bucketed by prompt length.
@@ -177,16 +348,13 @@ class _TrainerBase:
 class MaskedReconstructionTrainer(_TrainerBase):
     """Stage 1: self-supervised masked reconstruction (Sec. VI-A)."""
 
+    def _prompt_spec(self) -> Tuple[Callable, Tuple, int]:
+        args = (self.dataset, self.model._traffic_states, self.model.prompt_builder, self.config)
+        return assemble_stage1_prompts, args, 1
+
     def build_prompts(self) -> List[Prompt]:
-        builder = self.model.prompt_builder
-        prompts: List[Prompt] = []
-        for trajectory in self._train_trajectories():
-            sequence = self.model.sequence_from_trajectory(trajectory)
-            prompts.append(builder.masked_reconstruction(sequence, self.config.mask_ratio, rng=self._rng))
-        length = self.config.traffic_history + self.config.traffic_horizon
-        for sequence in self._traffic_sequences(self.config.traffic_sequences_per_epoch, length):
-            prompts.append(builder.masked_reconstruction(sequence, self.config.mask_ratio, rng=self._rng))
-        return prompts
+        assemble_fn, args, _ = self._prompt_spec()
+        return assemble_fn(*args, self._rng)
 
     def train(self, epochs: Optional[int] = None) -> List[EpochLog]:
         epochs = epochs if epochs is not None else self.config.stage1_epochs
@@ -200,8 +368,7 @@ class MaskedReconstructionTrainer(_TrainerBase):
             unfroze_backbone = True
         optimizer = Adam(self.model.trainable_parameters(), lr=self.config.learning_rate)
         logs = []
-        for epoch in range(epochs):
-            prompts = self.build_prompts()
+        for epoch, prompts in enumerate(self._epoch_prompt_lists(epochs)):
             logs.append(self._run_epoch(prompts, optimizer, epoch))
         if unfroze_backbone and self.model.config.lora_only:
             # Restore the paper's setting: frozen base, trainable LoRA only.
@@ -223,63 +390,20 @@ class PromptTuningTrainer(_TrainerBase):
         self.tasks = tuple(tasks) if tasks is not None else self.config.tasks
 
     # ------------------------------------------------------------------
+    def _prompt_spec(self) -> Tuple[Callable, Tuple, int]:
+        args = (
+            self.dataset,
+            self.model._traffic_states,
+            self.model.prompt_builder,
+            self.config,
+            tuple(self.tasks),
+        )
+        return assemble_stage2_prompts, args, 2
+
     def build_prompts(self) -> List[Prompt]:
         """The "full training set": prompts from every enabled task, mixed together."""
-        builder = self.model.prompt_builder
-        prompts: List[Prompt] = []
-        trajectories = self._train_trajectories()
-        classification_target = "user" if self.dataset.has_dynamic_features else "pattern"
-
-        for trajectory in trajectories:
-            sequence = self.model.sequence_from_trajectory(trajectory)
-            if TaskType.NEXT_HOP in self.tasks and len(sequence) >= 3:
-                prompts.append(builder.next_hop(sequence))
-                # Augment with prompts cut at random intermediate positions so
-                # the successor structure of the road graph is seen from many
-                # contexts, not only full-length prefixes.
-                if len(sequence) > 3 and self.config.next_hop_augmentation > 0:
-                    cuts = self._rng.choice(
-                        np.arange(3, len(sequence)),
-                        size=min(self.config.next_hop_augmentation, len(sequence) - 3),
-                        replace=False,
-                    )
-                    for cut in cuts:
-                        prompts.append(builder.next_hop(sequence.slice(0, int(cut))))
-            if TaskType.TRAVEL_TIME in self.tasks:
-                prompts.append(builder.travel_time(sequence))
-            if TaskType.CLASSIFICATION in self.tasks:
-                prompts.append(builder.classification(sequence, target=classification_target))
-            if TaskType.RECOVERY in self.tasks and len(sequence) >= 5:
-                _, kept = subsample_trajectory(trajectory, self.config.recovery_keep_ratio, rng=self._rng)
-                prompts.append(builder.recovery(sequence, kept))
-
-        traffic = self.dataset.traffic_states
-        if traffic is not None:
-            history = self.config.traffic_history
-            horizon = self.config.traffic_horizon
-            count = self.config.traffic_sequences_per_epoch
-            want_traffic = (
-                TaskType.TRAFFIC_ONE_STEP in self.tasks
-                or TaskType.TRAFFIC_MULTI_STEP in self.tasks
-                or TaskType.TRAFFIC_IMPUTATION in self.tasks
-            )
-            if want_traffic:
-                max_start = max(traffic.num_slices - history - horizon, 1)
-                for _ in range(count):
-                    segment = int(self._rng.integers(0, traffic.num_segments))
-                    start = int(self._rng.integers(0, max_start))
-                    history_seq = traffic_series_to_units(traffic, segment, start, history)
-                    target = traffic.segment_series(segment)[start + history : start + history + horizon]
-                    if TaskType.TRAFFIC_MULTI_STEP in self.tasks:
-                        prompts.append(builder.traffic_prediction(history_seq, target, multi_step=True))
-                    if TaskType.TRAFFIC_ONE_STEP in self.tasks:
-                        prompts.append(builder.traffic_prediction(history_seq, target[:1], multi_step=False))
-                    if TaskType.TRAFFIC_IMPUTATION in self.tasks:
-                        full_seq = traffic_series_to_units(traffic, segment, start, history + horizon)
-                        num_masked = max(1, int(round(self.config.imputation_mask_ratio * len(full_seq))))
-                        masked = self._rng.choice(len(full_seq), size=num_masked, replace=False)
-                        prompts.append(builder.traffic_imputation(full_seq, masked))
-        return prompts
+        assemble_fn, args, _ = self._prompt_spec()
+        return assemble_fn(*args, self._rng)
 
     def train(self, epochs: Optional[int] = None, freeze_tokenizer: bool = True) -> List[EpochLog]:
         epochs = epochs if epochs is not None else self.config.stage2_epochs
@@ -291,8 +415,7 @@ class PromptTuningTrainer(_TrainerBase):
             raise RuntimeError("no trainable parameters left for prompt tuning")
         optimizer = Adam(parameters, lr=self.config.stage2_learning_rate)
         logs = []
-        for epoch in range(epochs):
-            prompts = self.build_prompts()
+        for epoch, prompts in enumerate(self._epoch_prompt_lists(epochs)):
             logs.append(self._run_epoch(prompts, optimizer, epoch))
         return logs
 

@@ -95,6 +95,9 @@ def run_table3_trajectory_tasks(
         ),
     )
     next_table.add_row(BIGCITY_NAME, next_eval.evaluate(lambda ts: model.predict_next_hop(ts, top_k=10)))
+    # The generative view of the same task: all prefixes decode through one
+    # padded KV-cached batch (rollout_next_hops_batch) instead of per-sample.
+    next_table.add_row(BIGCITY_NAME, next_eval.evaluate_rollout(model.rollout_next_hops_batch))
     simi_table.add_row(BIGCITY_NAME, simi_eval.evaluate(embed_fn=model.trajectory_embeddings))
 
     return {"travel_time": tte_table, "classification": clas_table, "next_hop": next_table, "similarity": simi_table}

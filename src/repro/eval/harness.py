@@ -10,6 +10,11 @@ environment variable runs longer schedules.
 variants, every baseline) per dataset so that different tables can share one
 training run — exactly like the paper evaluates one trained BIGCity across
 all eight tasks.
+
+To regenerate several experiments at once, shard them over worker processes
+with :mod:`repro.eval.parallel` (``REPRO_EVAL_WORKERS`` sets the default
+worker count; each worker gets its own seeded context and the merged results
+are bit-for-bit identical to a serial run).
 """
 
 from __future__ import annotations

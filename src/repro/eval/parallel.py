@@ -1,0 +1,153 @@
+"""Process-parallel, merge-deterministic experiment evaluation.
+
+The experiment harness regenerates every paper table sequentially on one
+core; this module fans *experiment units* out over a
+:class:`concurrent.futures.ProcessPoolExecutor` instead:
+
+* :func:`run_sharded` — the generic primitive: map a picklable top-level
+  function over a list of units with ``N`` worker processes.  Results come
+  back **in unit order** (not completion order), so the merged output is
+  deterministic regardless of worker scheduling.
+* :func:`run_experiments` — the registry-level runner: each unit is one
+  experiment id from :mod:`repro.eval.registry`, executed in its own
+  :class:`~repro.eval.harness.ExperimentContext` with a deterministically
+  derived seed.  Because the per-unit seeding happens *inside* the unit, a
+  serial run (``num_workers=1``, executed inline in this process) and a
+  sharded run produce bit-for-bit identical tables.
+
+The worker count defaults to the ``REPRO_EVAL_WORKERS`` environment variable
+(1 when unset), so the slow benchmark tier can be regenerated with e.g.::
+
+    REPRO_EVAL_WORKERS=4 python -m repro.eval.parallel table3 table4 table5
+
+Trade-off to know about: the serial harness shares one
+:class:`ExperimentContext` (and therefore one set of trained models) across
+experiments, while sharded workers each train their own.  Sharding wins
+wall-clock when experiments are dominated by their *own* work — which the
+paper's table suite is — and always wins determinism-per-unit, but it does
+not share caches across processes.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "run_sharded",
+    "run_experiments",
+    "unit_seed",
+]
+
+#: Environment variable holding the default worker count.
+WORKERS_ENV = "REPRO_EVAL_WORKERS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(num_workers: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit argument, else ``REPRO_EVAL_WORKERS``, else 1."""
+    if num_workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        try:
+            num_workers = int(raw) if raw else 1
+        except ValueError as error:
+            raise ValueError(f"{WORKERS_ENV} must be an integer, got {raw!r}") from error
+    return max(1, int(num_workers))
+
+
+def run_sharded(
+    fn: Callable[[T], R],
+    units: Sequence[T],
+    num_workers: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``fn`` over ``units`` with ``num_workers`` processes, results in unit order.
+
+    ``fn`` must be a picklable top-level callable and every unit/result must
+    survive a round-trip through the process pool.  With ``num_workers <= 1``
+    (or a single unit) the map runs inline in this process — the exact same
+    code path a serial caller would take, which is what makes
+    serial-vs-sharded equality testable.
+    """
+    units = list(units)
+    workers = resolve_workers(num_workers)
+    if workers <= 1 or len(units) <= 1:
+        return [fn(unit) for unit in units]
+    workers = min(workers, len(units))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, units, chunksize=max(1, chunksize)))
+
+
+def unit_seed(base_seed: int, unit_name: str) -> int:
+    """Deterministic per-unit seed: stable across processes and Python runs."""
+    return (int(base_seed) * 1000003 + zlib.crc32(unit_name.encode("utf-8"))) % (2**32)
+
+
+def _execute_experiment(payload: Tuple[str, Optional[str]]):
+    """Worker body: run one registered experiment in a fresh context.
+
+    The global NumPy RNG is reseeded from the profile seed and the experiment
+    id before the runner starts, so any code path drawing from the implicit
+    global stream sees the same draws whether the unit runs inline or in a
+    worker process.
+    """
+    experiment_id, profile_name = payload
+    from repro.eval.harness import ExperimentContext, get_profile
+    from repro.eval.registry import get_experiment
+
+    profile = get_profile(profile_name)
+    np.random.seed(unit_seed(profile.seed, experiment_id))
+    spec = get_experiment(experiment_id)
+    result = spec.runner(ExperimentContext(profile))
+    return experiment_id, result
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    profile_name: Optional[str] = None,
+    num_workers: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run registered experiments, optionally sharded over worker processes.
+
+    Returns ``{experiment_id: runner_result}`` in the order the ids were
+    given.  Each experiment trains and evaluates inside its own seeded
+    context, so the mapping is identical for any worker count.
+    """
+    payloads = [(str(experiment_id), profile_name) for experiment_id in experiment_ids]
+    results = run_sharded(_execute_experiment, payloads, num_workers=num_workers)
+    return dict(results)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.eval.parallel [--workers N] [--profile P] id [id ...]``"""
+    import argparse
+
+    from repro.eval.registry import EXPERIMENTS
+    from repro.eval.results import ResultTable
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all registered)")
+    parser.add_argument("--workers", type=int, default=None, help=f"worker processes (default: ${WORKERS_ENV} or 1)")
+    parser.add_argument("--profile", default=None, help="benchmark profile (quick/full/smoke)")
+    args = parser.parse_args(argv)
+
+    ids = args.experiments or sorted(EXPERIMENTS)
+    results = run_experiments(ids, profile_name=args.profile, num_workers=args.workers)
+    for experiment_id, result in results.items():
+        tables = [result] if isinstance(result, ResultTable) else list(result.values())
+        for table in tables:
+            print(table.to_text())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,18 @@
 """Engine micro-benchmarks with config-hashed, regression-comparable output.
 
-The fused-kernel fast path (:mod:`repro.nn.functional`) and the KV-cached
-decoding path (:class:`repro.nn.attention.KVCache`) are *claimed* speedups;
-this module measures them.  Each benchmark times the optimised path against
-the legacy formulation it replaced — fused vs composed tape nodes for
-forward+backward, cached vs full re-encode for autoregressive decode — and
-the report is written as ``BENCH_engine.json`` so later PRs have a perf
-trajectory to regress against (``scripts/bench_compare.py`` diffs two such
-files).
+The fused-kernel fast path (:mod:`repro.nn.functional`), the KV-cached
+decoding path (:class:`repro.nn.attention.KVCache`), the float32 compute
+policy (:func:`repro.nn.tensor.compute_dtype`), the batched rollout
+(``BIGCity.rollout_next_hops_batch``) and the sharded evaluation runner
+(:mod:`repro.eval.parallel`) are *claimed* speedups; this module measures
+them.  Each benchmark times the optimised path against the formulation it
+replaced — fused vs composed tape nodes, cached vs full re-encode, float32
+vs float64 step, one padded batch vs per-trajectory rollouts, ``N`` worker
+processes vs an inline loop — and the report is written as
+``BENCH_engine.json`` so later PRs have a perf trajectory to regress against
+(``scripts/bench_compare.py`` diffs two such files; sections that one report
+lacks are listed as skipped, so old baselines stay diffable as sections are
+added).
 
 Timing is *paired*: the two variants of a benchmark are sampled alternately
 and each keeps its best sample, so a burst of machine noise (CPU steal on a
@@ -31,7 +36,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.nn import losses
-from repro.nn.tensor import Tensor, fused_kernels, no_grad
+from repro.nn.tensor import Tensor, compute_dtype, fused_kernels, no_grad
 from repro.nn.transformer import GPT2Config, GPT2Model
 
 __all__ = [
@@ -74,6 +79,18 @@ class PerfBenchConfig:
     decode_steps: int = 160
     # tokenizer encode
     tokenizer_sequences: int = 16
+    # float32 vs float64 compute policy (paper-default backbone width: wide
+    # enough that the step is memory/BLAS-bound rather than tape-overhead-bound)
+    dtype_d_model: int = 64
+    dtype_num_heads: int = 4
+    dtype_seq_len: int = 256
+    dtype_batch_size: int = 4
+    # batched autoregressive rollout (one padded batch vs per-trajectory)
+    rollout_batch: int = 8
+    rollout_steps: int = 4
+    # sharded evaluation (worker processes vs inline loop)
+    eval_units: int = 6
+    eval_workers: int = 4
     #: Paired samples per benchmark; each variant keeps its best sample.
     samples: int = 8
     seed: int = 0
@@ -158,29 +175,39 @@ def _build_model(d_model: int, num_layers: int, num_heads: int, max_position: in
 # ----------------------------------------------------------------------
 # Micro-benchmarks
 # ----------------------------------------------------------------------
-def bench_tokenizer(config: PerfBenchConfig) -> Dict[str, float]:
-    """Time ST-tokenizer ``encode_batch`` over synthetic trajectories."""
-    # Imported lazily: the tokenizer benchmark needs the full data stack,
-    # the engine benchmarks only repro.nn.
-    from repro.core.config import BIGCityConfig
-    from repro.core.st_unit import trajectory_to_units
-    from repro.core.tokenizer import SpatioTemporalTokenizer
+def _synthetic_city(seed: int, sequences: int):
+    """A small synthetic city shared by the data-dependent benchmarks.
+
+    Returns ``(network, city, trajectories, traffic)`` — enough to build a
+    tokenizer or a full BIGCity model.  Imported lazily so the pure-engine
+    benchmarks only need :mod:`repro.nn`.
+    """
     from repro.data.synthetic import SyntheticCity, SyntheticCityConfig
     from repro.roadnet.generators import grid_city
 
-    network = grid_city(rows=4, cols=4, block_km=0.5, seed=config.seed)
+    network = grid_city(rows=4, cols=4, block_km=0.5, seed=seed)
     city = SyntheticCity(
         network,
         SyntheticCityConfig(
             num_users=4,
-            trajectories_per_user=max(1, config.tokenizer_sequences // 4),
+            trajectories_per_user=max(1, sequences // 4),
             num_days=1,
             min_route_hops=4,
             max_route_hops=10,
-            seed=config.seed,
+            seed=seed,
         ),
     )
     trajectories, traffic = city.simulate()
+    return network, city, trajectories, traffic
+
+
+def bench_tokenizer(config: PerfBenchConfig) -> Dict[str, float]:
+    """Time ST-tokenizer ``encode_batch`` over synthetic trajectories."""
+    from repro.core.config import BIGCityConfig
+    from repro.core.st_unit import trajectory_to_units
+    from repro.core.tokenizer import SpatioTemporalTokenizer
+
+    network, city, trajectories, traffic = _synthetic_city(config.seed, config.tokenizer_sequences)
     tokenizer = SpatioTemporalTokenizer(
         network=network,
         time_axis=city.time_axis,
@@ -296,6 +323,157 @@ def bench_decode(config: PerfBenchConfig) -> Dict[str, float]:
     }
 
 
+def bench_dtype_policy(config: PerfBenchConfig) -> Dict[str, float]:
+    """Float32 vs float64 compute policy on a transformer forward+backward.
+
+    The two variants run the identical fused-engine GPT-2 stack and loss; the
+    only difference is the compute dtype the whole run (parameters,
+    activations, gradients) lives in.  The ratio is the bandwidth win of
+    halving every array — the engine is memory-bound at these sizes, so it
+    should be well above 1.
+    """
+    rng = np.random.default_rng(config.seed)
+    d_model, seq_len = config.dtype_d_model, config.dtype_seq_len
+    embeddings = rng.standard_normal((config.dtype_batch_size, seq_len, d_model))
+    targets = rng.integers(0, d_model, size=config.dtype_batch_size * seq_len)
+
+    def make_runner(dtype: str) -> Callable[[], None]:
+        with compute_dtype(dtype):
+            model = _build_model(
+                d_model, config.num_layers, config.dtype_num_heads, max(512, seq_len + 8), config.seed
+            )
+        model.train()
+        parameters = list(model.parameters())
+
+        def run() -> None:
+            with compute_dtype(dtype):
+                for parameter in parameters:
+                    parameter.zero_grad()
+                x = Tensor(embeddings, requires_grad=True)
+                hidden = model(x)
+                loss = losses.cross_entropy(hidden.reshape(-1, d_model), targets)
+                loss.backward()
+
+        return run
+
+    timing = _paired_best(make_runner("float64"), make_runner("float32"), config.samples)
+    float64_s, float32_s = timing["baseline_s"], timing["optimised_s"]
+    return {
+        "float32_s": float32_s,
+        "float64_s": float64_s,
+        "speedup": float64_s / float32_s if float32_s > 0 else float("inf"),
+    }
+
+
+def bench_batched_rollout(config: PerfBenchConfig) -> Dict[str, float]:
+    """One padded KV-cached batch vs per-trajectory autoregressive rollouts.
+
+    Times ``BIGCity.rollout_next_hops_batch`` over ``rollout_batch``
+    trajectories against the per-trajectory loop it replaced; both paths are
+    KV-cached and decode ``rollout_steps`` segments, and both choose identical
+    segments (asserted by the equivalence tests), so the ratio is purely the
+    batching win.
+    """
+    from repro.core.config import BIGCityConfig
+    from repro.core.model import BIGCity
+
+    network, city, trajectories, traffic = _synthetic_city(config.seed, config.rollout_batch)
+    model = BIGCity(
+        network=network,
+        time_axis=city.time_axis,
+        num_users=max((t.user_id for t in trajectories), default=0) + 1,
+        config=BIGCityConfig.tiny(seed=config.seed),
+        traffic_states=traffic,
+    )
+    model.eval()
+    usable = [t for t in trajectories if len(t) >= 2] or trajectories
+    batch = [usable[i % len(usable)] for i in range(config.rollout_batch)]
+
+    def run_serial() -> None:
+        for trajectory in batch:
+            model.rollout_next_hops(trajectory, steps=config.rollout_steps)
+
+    def run_batched() -> None:
+        model.rollout_next_hops_batch(batch, steps=config.rollout_steps)
+
+    timing = _paired_best(run_serial, run_batched, config.samples)
+    serial_s, batched_s = timing["baseline_s"], timing["optimised_s"]
+    return {
+        "batched_s": batched_s,
+        "serial_s": serial_s,
+        "speedup": serial_s / batched_s if batched_s > 0 else float("inf"),
+        "trajectories": float(config.rollout_batch),
+        "steps": float(config.rollout_steps),
+    }
+
+
+def _sharded_eval_unit(seed: int) -> Dict[str, float]:
+    """One evaluation unit of the sharded-eval benchmark (module-level so the
+    worker processes can import it): build a seeded synthetic city, run a
+    fresh BIGCity model over its trajectories (next-hop ranking, travel-time
+    estimation, a batched rollout) and reduce the predictions to checksums.
+    Deterministic given ``seed``, so serial and sharded runs must produce
+    identical merged results.  Deliberately a few hundred milliseconds of
+    work — the scale of one real experiment sub-unit — so per-process
+    overhead is amortised the way it would be on the slow benchmark tier.
+    """
+    from repro.core.config import BIGCityConfig
+    from repro.core.model import BIGCity
+
+    network, city, trajectories, traffic = _synthetic_city(seed, 64)
+    model = BIGCity(
+        network=network,
+        time_axis=city.time_axis,
+        num_users=max((t.user_id for t in trajectories), default=0) + 1,
+        config=BIGCityConfig(hidden_dim=32, d_model=64, num_layers=3, seed=seed),
+        traffic_states=traffic,
+    )
+    model.eval()
+    sample = [t for t in trajectories if len(t) >= 2][:48]
+    rankings = model.predict_next_hop(sample, top_k=3)
+    travel_times = model.estimate_travel_time(sample)
+    rollouts = model.rollout_next_hops_batch(sample[:16], steps=3)
+    return {
+        "seed": float(seed),
+        "checksum": float(sum(int(r[0]) for r in rankings)),
+        "travel_time_sum": float(np.round(travel_times.sum(), 6)),
+        "rollout_checksum": float(sum(int(r[-1]) for r in rollouts)),
+    }
+
+
+def bench_sharded_eval(config: PerfBenchConfig) -> Dict[str, float]:
+    """Worker-process sharded evaluation vs the inline serial loop.
+
+    Fans ``eval_units`` independent evaluation units out over
+    ``eval_workers`` processes through :func:`repro.eval.parallel.run_sharded`
+    and times the same units run inline.  ``sharded_s`` includes creating the
+    process pool — that is the cost a user really pays per
+    ``run_experiments`` call.  ``identical`` records whether the merged
+    results matched bit-for-bit (they must).  The speedup scales with the
+    machine's core count — on a single-core box the sharded path pays process
+    overhead for no parallelism, and the report says so honestly.
+    """
+    from repro.eval.parallel import run_sharded
+
+    seeds = [config.seed + index for index in range(config.eval_units)]
+    _sharded_eval_unit(seeds[0])  # warm imports/caches in the parent
+
+    start = time.perf_counter()
+    serial_results = run_sharded(_sharded_eval_unit, seeds, num_workers=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    sharded_results = run_sharded(_sharded_eval_unit, seeds, num_workers=config.eval_workers)
+    sharded_s = time.perf_counter() - start
+    return {
+        "serial_s": serial_s,
+        "sharded_s": sharded_s,
+        "speedup": serial_s / sharded_s if sharded_s > 0 else float("inf"),
+        "units": float(config.eval_units),
+        "workers": float(config.eval_workers),
+        "identical": 1.0 if serial_results == sharded_results else 0.0,
+    }
+
+
 def run_perfbench(
     config: Optional[PerfBenchConfig] = None,
     include: Optional[List[str]] = None,
@@ -303,13 +481,17 @@ def run_perfbench(
     """Run the engine micro-benchmarks and return the report.
 
     ``include`` selects a subset of ``{"tokenizer", "forward_backward",
-    "decode"}``; the default runs all three.
+    "decode", "dtype_policy", "batched_rollout", "sharded_eval"}``; the
+    default runs all of them.
     """
     config = config or PerfBenchConfig()
     benches: Dict[str, Callable[[PerfBenchConfig], Dict[str, float]]] = {
         "tokenizer": bench_tokenizer,
         "forward_backward": bench_forward_backward,
         "decode": bench_decode,
+        "dtype_policy": bench_dtype_policy,
+        "batched_rollout": bench_batched_rollout,
+        "sharded_eval": bench_sharded_eval,
     }
     selected = include if include is not None else list(benches)
     unknown = [name for name in selected if name not in benches]

@@ -109,3 +109,21 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
     if experiment_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}")
     return EXPERIMENTS[experiment_id]
+
+
+def run_registered(experiment_ids=None, profile_name=None, num_workers=None) -> Dict[str, object]:
+    """Regenerate registered experiments, sharded over ``num_workers`` processes.
+
+    ``num_workers=None`` reads the ``REPRO_EVAL_WORKERS`` environment variable
+    (see :mod:`repro.eval.parallel`), which is how the slow benchmark tier is
+    parallelised without touching each benchmark file.  Results are returned
+    per experiment id in the requested order and are identical for any worker
+    count.
+    """
+    from repro.eval.parallel import run_experiments
+
+    ids = list(experiment_ids) if experiment_ids is not None else sorted(EXPERIMENTS)
+    unknown = [experiment_id for experiment_id in ids if experiment_id not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown!r}; available: {sorted(EXPERIMENTS)}")
+    return run_experiments(ids, profile_name=profile_name, num_workers=num_workers)

@@ -12,9 +12,25 @@ Everything runs on CPU with float64/float32 NumPy arrays and is sized for
 laptop-scale experiments; the APIs intentionally mirror the PyTorch
 equivalents so that the BIGCity model code in :mod:`repro.core` reads like
 the architecture described in the paper.
+
+**Compute dtype.**  The engine defaults to float64; wrap model construction
+*and* the training/inference calls in ``compute_dtype("float32")`` to run the
+whole stack — parameters, activations, gradients — in float32, which roughly
+halves memory traffic on the memory-bound kernels (measured in the
+``dtype_policy`` section of ``BENCH_engine.json``).  Numerically delicate
+accumulations (loss reductions, Adam moments) stay in float64 internally.
 """
 
-from repro.nn.tensor import Tensor, no_grad, is_grad_enabled, fused_kernels, fused_enabled
+from repro.nn.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    fused_kernels,
+    fused_enabled,
+    compute_dtype,
+    get_compute_dtype,
+    set_compute_dtype,
+)
 from repro.nn import functional
 from repro.nn.attention import KVCache
 from repro.nn.module import Module, Parameter, ModuleList, Sequential
@@ -59,6 +75,9 @@ __all__ = [
     "is_grad_enabled",
     "fused_kernels",
     "fused_enabled",
+    "compute_dtype",
+    "get_compute_dtype",
+    "set_compute_dtype",
     "KVCache",
     "functional",
     "Module",

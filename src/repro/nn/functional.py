@@ -17,7 +17,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, apply_op, fused_enabled
+from repro.nn.tensor import Tensor, apply_op, fused_enabled, get_compute_dtype
 
 
 def relu(x: Tensor) -> Tensor:
@@ -96,9 +96,9 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
 
 def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
-    """Return a dense one-hot encoding of ``indices``."""
+    """Return a dense one-hot encoding of ``indices`` (compute-policy dtype)."""
     indices = np.asarray(indices, dtype=np.int64)
-    out = np.zeros(indices.shape + (num_classes,), dtype=np.float64)
+    out = np.zeros(indices.shape + (num_classes,), dtype=get_compute_dtype())
     np.put_along_axis(out, indices[..., None], 1.0, axis=-1)
     return out
 
@@ -210,10 +210,12 @@ def fused_cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> Ten
     log_probs = shifted - logsumexp
     rows = np.arange(num_rows)
     per_row = -log_probs[rows, target_idx]
+    # Loss reductions accumulate in float64 even under a float32 policy; the
+    # scalar is cast back so the output stays in the policy dtype.
     if reduction == "mean":
-        out = per_row.mean()
+        out = per_row.mean(dtype=np.float64).astype(per_row.dtype)
     elif reduction == "sum":
-        out = per_row.sum()
+        out = per_row.sum(dtype=np.float64).astype(per_row.dtype)
     elif reduction == "none":
         # Flat (rows,) losses, matching the composed formulation exactly.
         out = per_row
@@ -224,11 +226,11 @@ def fused_cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> Ten
         if not logits.requires_grad:
             return
         if reduction == "mean":
-            row_grad = np.full(num_rows, float(np.asarray(grad).reshape(())) / num_rows)
+            row_grad = np.full(num_rows, float(np.asarray(grad).reshape(())) / num_rows, dtype=log_probs.dtype)
         elif reduction == "sum":
-            row_grad = np.full(num_rows, float(np.asarray(grad).reshape(())))
+            row_grad = np.full(num_rows, float(np.asarray(grad).reshape(())), dtype=log_probs.dtype)
         else:
-            row_grad = np.asarray(grad, dtype=np.float64).reshape(-1)
+            row_grad = np.asarray(grad, dtype=log_probs.dtype).reshape(-1)
         grad_logits = np.exp(log_probs) * row_grad[:, None]
         grad_logits[rows, target_idx] -= row_grad
         logits._accumulate_owned(grad_logits.reshape(logits.shape))
@@ -440,7 +442,7 @@ def gather_rows(x: Tensor, batch_index, row_index) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
             return
-        full = np.zeros_like(x.data, dtype=np.float64)
+        full = np.zeros_like(x.data, dtype=x.data.dtype if x.data.dtype.kind == "f" else np.float64)
         np.add.at(full, (batch_idx, row_idx), grad)
         x._accumulate_owned(full)
 
@@ -504,7 +506,7 @@ def masked_mean(x: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
     ``mask`` follows the padding-mask convention (True = ignore) and must be
     broadcastable against ``x`` without its feature dimension.
     """
-    keep = (~np.asarray(mask, dtype=bool)).astype(np.float64)
+    keep = (~np.asarray(mask, dtype=bool)).astype(x.data.dtype if x.data.dtype.kind == "f" else np.float64)
     while keep.ndim < x.ndim:
         keep = keep[..., None]
     keep_t = Tensor(keep)

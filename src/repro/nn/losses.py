@@ -85,7 +85,8 @@ def info_nce(anchor: Tensor, positive: Tensor, temperature: float = 0.1) -> Tens
 
 def masked_mse_loss(prediction: Tensor, target, mask: np.ndarray) -> Tensor:
     """MSE restricted to positions where ``mask`` is True."""
-    mask = np.asarray(mask, dtype=np.float64)
+    mask_dtype = prediction.data.dtype if prediction.data.dtype.kind == "f" else np.float64
+    mask = np.asarray(mask, dtype=mask_dtype)
     target = _ensure_tensor(target).detach()
     diff = prediction - target
     weighted = diff * diff * Tensor(mask)

@@ -1,4 +1,11 @@
-"""Gradient-descent optimisers and learning-rate schedulers."""
+"""Gradient-descent optimisers and learning-rate schedulers.
+
+Under a float32 compute policy (see :func:`repro.nn.tensor.compute_dtype`)
+the Adam/AdamW moment estimates are still accumulated in float64 — exponential
+moving averages are exactly the kind of long-horizon sum float32 degrades —
+and every update is cast back to the parameter's own dtype, so parameters
+never silently change precision across a ``step()``.
+"""
 
 from __future__ import annotations
 
@@ -61,7 +68,7 @@ class SGD(Optimizer):
                 velocity = grad if velocity is None else self.momentum * velocity + grad
                 self._velocity[id(param)] = velocity
                 grad = velocity
-            param.data = param.data - self.lr * grad
+            param.data = (param.data - self.lr * grad).astype(param.data.dtype, copy=False)
 
 
 class Adam(Optimizer):
@@ -99,7 +106,8 @@ class Adam(Optimizer):
             self._v[id(param)] = v
             m_hat = m / (1 - self.beta1**t)
             v_hat = v / (1 - self.beta2**t)
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.data = (param.data - update).astype(param.data.dtype, copy=False)
 
 
 class AdamW(Adam):
@@ -123,7 +131,7 @@ class AdamW(Adam):
             update = m_hat / (np.sqrt(v_hat) + self.eps)
             if self.weight_decay:
                 update = update + self.weight_decay * param.data
-            param.data = param.data - self.lr * update
+            param.data = (param.data - self.lr * update).astype(param.data.dtype, copy=False)
 
 
 class _Scheduler:
@@ -170,7 +178,7 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     params = [p for p in parameters if p.grad is not None]
     if not params:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    total = float(np.sqrt(sum(float((p.grad**2).sum(dtype=np.float64)) for p in params)))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for p in params:

@@ -10,6 +10,19 @@ Only the operations needed by the rest of the library are implemented, but
 they cover the usual deep-learning workload: broadcasting arithmetic, matrix
 multiplication, reductions, indexing, concatenation, common activations and
 shape manipulation.
+
+**Compute-dtype policy.**  The engine runs in float64 by default; the
+:func:`compute_dtype` context manager (or :func:`set_compute_dtype`) switches
+the whole stack — parameters created by :mod:`repro.nn.init`, activations,
+and gradients — to float32, roughly halving memory traffic on the
+memory-bound kernels.  The policy is *downcast-only*: float64 inputs are cast
+down to the active policy dtype when tensors are constructed, while
+explicitly lower-precision inputs (e.g. a float32 array under the default
+float64 policy) are left untouched, so the default policy is bit-identical to
+the historical engine.  Gradients follow each tensor's own dtype (a float32
+tensor accumulates float32 gradients); reductions that are numerically
+delicate — ``sum``/``mean`` over float32 data, Adam's moment estimates —
+accumulate in float64 internally and cast back.
 """
 
 from __future__ import annotations
@@ -24,6 +37,56 @@ ArrayLike = Union[np.ndarray, float, int, list, tuple, "Tensor"]
 _GRAD_ENABLED = True
 
 _FUSED_ENABLED = True
+
+_COMPUTE_DTYPE = np.dtype(np.float64)
+
+#: True only under a float32 policy, so the per-construction downcast check in
+#: ``_as_array`` costs one global-bool read on the (default) float64 path.
+_DOWNCAST_ACTIVE = False
+
+_COMPUTE_DTYPES = {"float32": np.dtype(np.float32), "float64": np.dtype(np.float64)}
+
+
+def get_compute_dtype() -> np.dtype:
+    """Return the active compute-policy dtype (float64 unless switched)."""
+    return _COMPUTE_DTYPE
+
+
+def set_compute_dtype(dtype) -> np.dtype:
+    """Globally set the compute policy; accepts ``"float32"``/``"float64"``.
+
+    Returns the previous policy dtype so callers can restore it.
+    """
+    global _COMPUTE_DTYPE, _DOWNCAST_ACTIVE
+    if isinstance(dtype, str):
+        if dtype not in _COMPUTE_DTYPES:
+            raise ValueError(f"unknown compute dtype {dtype!r}; choose from {sorted(_COMPUTE_DTYPES)}")
+        dtype = _COMPUTE_DTYPES[dtype]
+    dtype = np.dtype(dtype)
+    if dtype not in _COMPUTE_DTYPES.values():
+        raise ValueError(f"compute dtype must be float32 or float64, got {dtype!r}")
+    previous = _COMPUTE_DTYPE
+    _COMPUTE_DTYPE = dtype
+    _DOWNCAST_ACTIVE = dtype != np.float64
+    return previous
+
+
+@contextlib.contextmanager
+def compute_dtype(dtype):
+    """Context manager selecting the engine-wide compute dtype.
+
+    ``with compute_dtype("float32"): ...`` makes every tensor constructed
+    inside the block — parameters, activations and the gradients flowing back
+    through them — float32.  Float64 inputs are downcast on construction;
+    already-lower-precision inputs are never upcast, so nesting policies is
+    safe and the default ``"float64"`` policy reproduces the historical
+    engine exactly.
+    """
+    previous = set_compute_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_compute_dtype(previous)
 
 
 def is_grad_enabled() -> bool:
@@ -94,7 +157,16 @@ def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     array = np.asarray(value, dtype=dtype)
     if array.dtype == np.float16:
         array = array.astype(np.float32)
+    if _DOWNCAST_ACTIVE and dtype is None and array.dtype == np.float64:
+        # Downcast-only policy: float64 data drops to a float32 policy, but a
+        # float32 array under the float64 policy keeps its precision.
+        array = array.astype(_COMPUTE_DTYPE)
     return array
+
+
+def _grad_dtype(data: np.ndarray) -> np.dtype:
+    """Dtype gradients of ``data`` accumulate in (its own dtype for floats)."""
+    return data.dtype if data.dtype.kind == "f" else np.dtype(np.float64)
 
 
 def apply_op(
@@ -186,7 +258,30 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     def astype(self, dtype) -> "Tensor":
-        return Tensor(self.data.astype(dtype), requires_grad=False)
+        """Cast to ``dtype`` as a differentiable tape op (for float targets).
+
+        The backward casts the incoming gradient back to the source dtype, so
+        dtype-policy code can move tensors between float32 and float64 without
+        silently detaching them from the tape.  Casts to non-float dtypes are
+        not differentiable and return a detached tensor, as before.
+        """
+        dtype = np.dtype(dtype)
+        data = self.data.astype(dtype)
+        # The explicit dtype bypasses the construction-time downcast policy:
+        # an upcast to float64 inside a float32 region must stick.
+        if dtype.kind != "f" or self.data.dtype.kind != "f":
+            return Tensor(data, requires_grad=False, dtype=dtype)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+
+        requires = is_grad_enabled() and self.requires_grad
+        out = Tensor(data, requires_grad=requires, dtype=dtype)
+        if requires:
+            out._parents = (self,)
+            out._backward = backward
+        return out
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -212,7 +307,8 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype if self.data.dtype.kind == "f" else np.float64), self.data.shape)
+        dtype = self.data.dtype
+        grad = _unbroadcast(np.asarray(grad, dtype=dtype if dtype.kind == "f" else np.float64), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -228,7 +324,7 @@ class Tensor:
         must pass a float array of exactly ``self.shape`` that they will not
         touch again.
         """
-        if grad.shape != self.data.shape:
+        if grad.shape != self.data.shape or grad.dtype != self.data.dtype:
             self._accumulate(grad)
             return
         if self.grad is None:
@@ -251,8 +347,8 @@ class Tensor:
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
-            grad = np.ones_like(self.data, dtype=np.float64)
-        grad = _as_array(grad, dtype=np.float64)
+            grad = np.ones_like(self.data, dtype=_grad_dtype(self.data))
+        grad = _as_array(grad, dtype=_grad_dtype(self.data))
 
         # Iterative topological sort to avoid recursion limits on deep graphs.
         topo: List[Tensor] = []
@@ -390,7 +486,12 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+        if self.data.dtype == np.float32:
+            # Float32 policy: reductions (losses, norms) accumulate in float64
+            # and cast back, so long sums keep full precision.
+            data = self.data.sum(axis=axis, keepdims=keepdims, dtype=np.float64).astype(np.float32)
+        else:
+            data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -424,12 +525,12 @@ class Tensor:
             if not self.requires_grad:
                 return
             if axis is None:
-                mask = (self.data == self.data.max()).astype(np.float64)
+                mask = (self.data == self.data.max()).astype(_grad_dtype(self.data))
                 mask /= mask.sum()
                 self._accumulate(mask * grad)
             else:
                 expanded_max = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expanded_max).astype(np.float64)
+                mask = (self.data == expanded_max).astype(_grad_dtype(self.data))
                 mask /= mask.sum(axis=axis, keepdims=True)
                 grad_full = grad if keepdims else np.expand_dims(grad, axis)
                 self._accumulate(mask * grad_full)
@@ -534,7 +635,7 @@ class Tensor:
 
     def clip(self, low: float, high: float) -> "Tensor":
         data = np.clip(self.data, low, high)
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+        mask = ((self.data >= low) & (self.data <= high)).astype(_grad_dtype(self.data))
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -583,7 +684,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data, dtype=np.float64)
+                full = np.zeros_like(self.data, dtype=_grad_dtype(self.data))
                 np.add.at(full, index, grad)
                 self._accumulate(full)
 
@@ -597,7 +698,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            full = np.zeros_like(self.data, dtype=np.float64)
+            full = np.zeros_like(self.data, dtype=_grad_dtype(self.data))
             if axis == 0:
                 flat_idx = indices.reshape(-1)
                 flat_grad = grad.reshape(-1, *self.data.shape[1:]) if indices.ndim else grad
@@ -720,12 +821,12 @@ class Tensor:
         return out
 
     @staticmethod
-    def zeros(shape, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
-        return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+    def zeros(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype or _COMPUTE_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(shape, requires_grad: bool = False, dtype=np.float64) -> "Tensor":
-        return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+    def ones(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype or _COMPUTE_DTYPE), requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape, requires_grad: bool = False, scale: float = 1.0, rng: Optional[np.random.Generator] = None) -> "Tensor":
@@ -733,5 +834,5 @@ class Tensor:
         return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
 
     @staticmethod
-    def arange(*args, dtype=np.float64) -> "Tensor":
-        return Tensor(np.arange(*args, dtype=dtype))
+    def arange(*args, dtype=None) -> "Tensor":
+        return Tensor(np.arange(*args, dtype=dtype or _COMPUTE_DTYPE))

@@ -144,6 +144,7 @@ class GPT2Model(Module):
         padding_mask: Optional[np.ndarray] = None,
         add_positions: bool = True,
         caches: Optional[List[KVCache]] = None,
+        position_ids: Optional[np.ndarray] = None,
     ) -> Tensor:
         """Run the transformer over ``(batch, seq, d_model)`` embeddings.
 
@@ -151,6 +152,12 @@ class GPT2Model(Module):
         passed in; keys/values of earlier calls are reused so a decode step is
         O(prefix) instead of O(prefix^2).  Cached forwards are inference-only
         and must run under ``no_grad``.
+
+        ``position_ids`` overrides the default ``arange`` positional indices;
+        a ``(batch, length)`` array gives every row its own positions.  Batched
+        autoregressive decoding over rows of different prompt lengths needs
+        this: the rows share one physical cache slot per step, but each row's
+        new token logically continues *its own* sequence.
         """
         batch, length, d_model = embeddings.shape
         if d_model != self.config.d_model:
@@ -164,14 +171,24 @@ class GPT2Model(Module):
             if len(caches) != len(self.blocks):
                 raise ValueError(f"expected {len(self.blocks)} caches, got {len(caches)}")
             offset = caches[0].length
-        if offset + length > self.config.max_position:
+        if position_ids is not None:
+            position_ids = np.asarray(position_ids, dtype=np.int64)
+            highest = int(position_ids.max()) + 1 if position_ids.size else 0
+        else:
+            highest = offset + length
+        if highest > self.config.max_position:
             raise ValueError(
-                f"sequence length {offset + length} exceeds max_position {self.config.max_position}"
+                f"sequence length {highest} exceeds max_position {self.config.max_position}"
             )
         x = embeddings
         if add_positions:
-            positions = np.arange(offset, offset + length)
-            pos = self.position_embedding(positions).reshape(1, length, d_model)
+            if position_ids is None:
+                positions = np.arange(offset, offset + length)
+                pos = self.position_embedding(positions).reshape(1, length, d_model)
+            else:
+                pos = self.position_embedding(position_ids)
+                if position_ids.ndim == 1:
+                    pos = pos.reshape(1, length, d_model)
             x = x + pos
         x = self.drop(x)
         for index, block in enumerate(self.blocks):

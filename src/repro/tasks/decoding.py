@@ -26,6 +26,7 @@ from repro.roadnet.network import RoadNetwork
 __all__ = [
     "constrained_next_hop_ranking",
     "greedy_next_hop",
+    "greedy_next_hop_batch",
     "forward_hop_distances",
     "backward_hop_distances",
     "gap_candidates",
@@ -49,6 +50,35 @@ def greedy_next_hop(
     if network is None:
         return int(np.argmax(np.asarray(scores, dtype=np.float64).reshape(-1)))
     return int(constrained_next_hop_ranking(scores, last_segment, network, top_k=1)[0])
+
+
+def greedy_next_hop_batch(
+    scores: np.ndarray,
+    last_segments: Sequence[int],
+    network: Optional[RoadNetwork] = None,
+) -> np.ndarray:
+    """Vectorised :func:`greedy_next_hop` over a ``(batch, num_segments)`` batch.
+
+    Each row of ``scores`` is decoded against the corresponding entry of
+    ``last_segments``; the per-row choice is exactly what
+    :func:`greedy_next_hop` would return, so batched and per-trajectory
+    rollouts stay equivalent.  Used by ``BIGCity.rollout_next_hops_batch`` to
+    pick every trajectory's next segment from one batched decode step.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be (batch, num_segments), got shape {scores.shape}")
+    last_segments = np.asarray(last_segments, dtype=np.int64).reshape(-1)
+    if last_segments.shape[0] != scores.shape[0]:
+        raise ValueError(
+            f"got {scores.shape[0]} score rows but {last_segments.shape[0]} last segments"
+        )
+    if network is None:
+        return np.argmax(scores, axis=-1).astype(np.int64)
+    return np.asarray(
+        [greedy_next_hop(row, int(seg), network) for row, seg in zip(scores, last_segments)],
+        dtype=np.int64,
+    )
 
 
 def constrained_next_hop_ranking(

@@ -18,6 +18,10 @@ from repro.tasks import metrics
 #: candidate segment ids, best first.
 RankFn = Callable[[Sequence[Trajectory]], Sequence[Sequence[int]]]
 
+#: A rollout function maps trajectory prefixes to per-trajectory arrays of
+#: autoregressively decoded next segments (``BIGCity.rollout_next_hops_batch``).
+RolloutFn = Callable[[Sequence[Trajectory]], Sequence[np.ndarray]]
+
 
 class NextHopEvaluator:
     """Build next-hop test cases from a dataset and score ranking functions."""
@@ -55,3 +59,18 @@ class NextHopEvaluator:
             "mrr@5": metrics.mrr_at_k(rankings, self.targets, k=5),
             "ndcg@5": metrics.ndcg_at_k(rankings, self.targets, k=5),
         }
+
+    def evaluate_rollout(self, rollout_fn: RolloutFn) -> Dict[str, float]:
+        """Score a batched autoregressive rollout on one-step-ahead accuracy.
+
+        ``rollout_fn`` receives every test *prefix* in one call (so a batched
+        implementation such as ``BIGCity.rollout_next_hops_batch`` decodes
+        them through a single padded KV-cached batch) and must return one
+        array of decoded segments per prefix; the first decoded segment is
+        compared against the held-out next hop.
+        """
+        rollouts = rollout_fn(self.prefixes)
+        if len(rollouts) != len(self.targets):
+            raise ValueError("rollout function returned the wrong number of results")
+        top1 = np.array([int(np.asarray(r).reshape(-1)[0]) if np.asarray(r).size else -1 for r in rollouts])
+        return {"rollout_acc": metrics.accuracy(top1, np.asarray(self.targets))}

@@ -1,0 +1,113 @@
+"""Tests of the process-parallel evaluation runner.
+
+The contract under test: sharding evaluation units over worker processes is
+purely a wall-clock optimisation — the merged results are bit-for-bit what
+the inline serial loop produces, in the same order, for any worker count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.eval.parallel as parallel
+import repro.eval.registry as registry
+from repro.eval.experiments import run_table2_dataset_statistics
+from repro.eval.parallel import resolve_workers, run_experiments, run_sharded, unit_seed
+from repro.eval.perfbench import _sharded_eval_unit
+from repro.eval.registry import ExperimentSpec, run_registered
+
+
+def _square_unit(value: int) -> dict:
+    """Module-level so worker processes can resolve it by qualified name."""
+    return {"value": value, "square": value * value}
+
+
+class TestRunSharded:
+    def test_inline_when_single_worker(self):
+        assert run_sharded(_square_unit, [3, 1, 2], num_workers=1) == [
+            {"value": 3, "square": 9},
+            {"value": 1, "square": 1},
+            {"value": 2, "square": 4},
+        ]
+
+    def test_worker_results_keep_unit_order(self):
+        units = list(range(7))
+        serial = run_sharded(_square_unit, units, num_workers=1)
+        sharded = run_sharded(_square_unit, units, num_workers=3)
+        assert sharded == serial
+
+    def test_empty_units(self):
+        assert run_sharded(_square_unit, [], num_workers=4) == []
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "8")
+        assert resolve_workers(2) == 2
+
+    def test_env_variable_default(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+        monkeypatch.delenv(parallel.WORKERS_ENV)
+        assert resolve_workers(None) == 1
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+
+class TestDeterminism:
+    def test_unit_seed_is_stable(self):
+        assert unit_seed(0, "table3") == unit_seed(0, "table3")
+        assert unit_seed(0, "table3") != unit_seed(0, "table4")
+        assert unit_seed(1, "table3") != unit_seed(0, "table3")
+
+    def test_sharded_eval_units_bit_for_bit(self):
+        """The perfbench evaluation unit: serial == sharded, exactly."""
+        seeds = [0, 1]
+        serial = run_sharded(_sharded_eval_unit, seeds, num_workers=1)
+        sharded = run_sharded(_sharded_eval_unit, seeds, num_workers=2)
+        assert serial == sharded  # dict float equality — bit-for-bit
+
+    @pytest.mark.skipif(
+        __import__("multiprocessing").get_start_method(allow_none=False) != "fork",
+        reason="monkeypatched registry entries only reach workers under the fork start method",
+    )
+    def test_registered_experiment_serial_equals_sharded(self, monkeypatch):
+        """A (cheap) registry experiment reproduces identically when sharded."""
+        spec = ExperimentSpec(
+            experiment_id="tiny_table2",
+            paper_reference="Table II",
+            description="xa_like statistics only (test fixture)",
+            runner=lambda context: run_table2_dataset_statistics(context, dataset_names=("xa_like",)),
+            benchmark_target="-",
+        )
+        monkeypatch.setitem(registry.EXPERIMENTS, "tiny_table2", spec)
+        serial = run_experiments(["tiny_table2"], profile_name="smoke", num_workers=1)
+        sharded = run_experiments(["tiny_table2", "tiny_table2"], profile_name="smoke", num_workers=2)
+        assert serial["tiny_table2"].to_dict() == sharded["tiny_table2"].to_dict()
+
+
+class TestRegistryWiring:
+    def test_run_registered_rejects_unknown_ids(self):
+        with pytest.raises(KeyError):
+            run_registered(["table99"])
+
+    def test_run_registered_uses_env_workers(self, monkeypatch):
+        monkeypatch.setenv(parallel.WORKERS_ENV, "1")
+        spec = ExperimentSpec(
+            experiment_id="tiny_env",
+            paper_reference="-",
+            description="-",
+            runner=lambda context: run_table2_dataset_statistics(context, dataset_names=("xa_like",)),
+            benchmark_target="-",
+        )
+        monkeypatch.setitem(registry.EXPERIMENTS, "tiny_env", spec)
+        result = run_registered(["tiny_env"], profile_name="smoke")
+        assert "xa_like" in result["tiny_env"].rows

@@ -1,0 +1,248 @@
+"""Tests of the engine-wide compute-dtype policy.
+
+Covers the policy plumbing (construction-time downcasts, restoration), the
+float32 flow through parameters/activations/gradients on both engine paths,
+finite-difference gradient checks under float32 (looser tolerances than the
+float64 checks in ``test_nn_functional.py``), the differentiable
+``Tensor.astype`` and the optimiser's dtype discipline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    GPT2Config,
+    GPT2Model,
+    LayerNorm,
+    Linear,
+    MultiHeadAttention,
+    Tensor,
+    compute_dtype,
+    fused_kernels,
+    get_compute_dtype,
+    losses,
+    set_compute_dtype,
+)
+from repro.nn import functional as F
+
+#: Float32 finite differences: wider step and looser tolerances than the
+#: float64 grad checks (eps**2 rounding sits near 1e-3 relative).
+FD_EPS = 1e-2
+FD_RTOL = 5e-2
+FD_ATOL = 5e-3
+
+
+def finite_difference(fn, x: np.ndarray, eps: float = FD_EPS) -> np.ndarray:
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn()
+        flat[i] = original - eps
+        lower = fn()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestPolicyPlumbing:
+    def test_default_policy_is_float64(self):
+        assert get_compute_dtype() == np.float64
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_context_manager_switches_and_restores(self):
+        with compute_dtype("float32"):
+            assert get_compute_dtype() == np.float32
+            assert Tensor([1.0]).dtype == np.float32
+            with compute_dtype("float64"):
+                assert Tensor([1.0]).dtype == np.float64
+            assert get_compute_dtype() == np.float32
+        assert get_compute_dtype() == np.float64
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with compute_dtype("float32"):
+                raise RuntimeError("boom")
+        assert get_compute_dtype() == np.float64
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            set_compute_dtype("float16")
+        with pytest.raises(ValueError):
+            set_compute_dtype(np.int64)
+
+    def test_downcast_only(self):
+        # float64 input downcasts under a float32 policy...
+        with compute_dtype("float32"):
+            assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float32
+        # ...but a float32 input is never upcast under the default policy.
+        assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+        # explicit dtype requests always win.
+        with compute_dtype("float32"):
+            assert Tensor(np.zeros(3), dtype=np.float64).dtype == np.float64
+
+    def test_constructors_follow_policy(self):
+        with compute_dtype("float32"):
+            assert Tensor.zeros((2, 2)).dtype == np.float32
+            assert Tensor.ones((2,)).dtype == np.float32
+            assert Tensor.arange(4).dtype == np.float32
+            assert Tensor.randn(3, rng=np.random.default_rng(0)).dtype == np.float32
+        assert Tensor.zeros((2, 2)).dtype == np.float64
+
+    def test_float32_sum_accumulates_in_float64(self):
+        # 1 + 2**24 ulps: a naive float32 running sum would stall.
+        with compute_dtype("float32"):
+            big = Tensor(np.full(2**12, np.float32(1.0)) * np.float32(2048.0))
+            tiny = Tensor(np.full(2**12, np.float32(2.0 ** -13)))
+            total = Tensor.concat([big, tiny], axis=0).sum()
+            assert total.dtype == np.float32
+            expected = 2**12 * 2048.0 + 2**12 * 2.0 ** -13
+            assert float(total.item()) == pytest.approx(expected, rel=1e-7)
+
+
+class TestFloat32Flow:
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_gpt2_step_stays_float32(self, fused):
+        with compute_dtype("float32"), fused_kernels(fused):
+            model = GPT2Model(GPT2Config(d_model=32, num_layers=2, num_heads=4, seed=0))
+            model.train()
+            assert all(p.dtype == np.float32 for p in model.parameters())
+            rng = np.random.default_rng(0)
+            x = Tensor(rng.standard_normal((2, 12, 32)), requires_grad=True)
+            hidden = model(x)
+            assert hidden.dtype == np.float32
+            loss = losses.cross_entropy(hidden.reshape(-1, 32), rng.integers(0, 32, 24))
+            assert loss.dtype == np.float32
+            loss.backward()
+            assert x.grad.dtype == np.float32
+            grads = [p.grad for p in model.parameters() if p.grad is not None]
+            assert grads and all(g.dtype == np.float32 for g in grads)
+
+    def test_attention_with_padding_mask_float32(self):
+        with compute_dtype("float32"):
+            attention = MultiHeadAttention(16, 4, causal=True, rng=np.random.default_rng(1))
+            attention.eval()
+            x = Tensor(np.random.default_rng(2).standard_normal((2, 6, 16)))
+            mask = np.zeros((2, 6), dtype=bool)
+            mask[1, 4:] = True
+            out = attention(x, padding_mask=mask)
+            assert out.dtype == np.float32
+
+    def test_fused_and_composed_agree_in_float32(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((2, 8, 16))
+        with compute_dtype("float32"):
+            model = GPT2Model(GPT2Config(d_model=16, num_layers=2, num_heads=4, seed=0))
+            model.eval()
+            with fused_kernels(True):
+                fused = model(Tensor(data)).data.copy()
+            with fused_kernels(False):
+                composed = model(Tensor(data)).data.copy()
+        assert fused.dtype == composed.dtype == np.float32
+        np.testing.assert_allclose(fused, composed, rtol=1e-4, atol=1e-5)
+
+    def test_adam_preserves_param_dtype_and_keeps_float64_moments(self):
+        with compute_dtype("float32"):
+            layer = Linear(4, 4, rng=np.random.default_rng(4))
+            optimizer = Adam(layer.parameters(), lr=1e-2)
+            x = Tensor(np.random.default_rng(5).standard_normal((8, 4)))
+            loss = losses.mse_loss(layer(x), np.zeros((8, 4)))
+            loss.backward()
+            optimizer.step()
+        assert all(p.dtype == np.float32 for p in layer.parameters())
+        assert all(m.dtype == np.float64 for m in optimizer._m.values())
+        assert all(v.dtype == np.float64 for v in optimizer._v.values())
+
+
+class TestFloat32GradChecks:
+    """Finite-difference checks of the fused kernels under the float32 policy."""
+
+    def test_linear_layer_norm_gelu_chain(self):
+        rng = np.random.default_rng(7)
+        x_data = rng.standard_normal((3, 8))
+        with compute_dtype("float32"):
+            layer = Linear(8, 8, rng=np.random.default_rng(8))
+            norm = LayerNorm(8)
+
+            def loss_from(x_arr):
+                x = Tensor(x_arr, requires_grad=True)
+                out = F.gelu(norm(layer(x)))
+                return x, (out * out).mean()
+
+            x, loss = loss_from(x_data)
+            loss.backward()
+            analytic = x.grad.astype(np.float64)
+            numeric = finite_difference(lambda: float(loss_from(x_data)[1].item()), x_data)
+        np.testing.assert_allclose(analytic, numeric, rtol=FD_RTOL, atol=FD_ATOL)
+
+    def test_cross_entropy(self):
+        rng = np.random.default_rng(9)
+        logits_data = rng.standard_normal((6, 5))
+        targets = rng.integers(0, 5, 6)
+        with compute_dtype("float32"):
+
+            def loss_from(arr):
+                logits = Tensor(arr, requires_grad=True)
+                return logits, losses.cross_entropy(logits, targets)
+
+            logits, loss = loss_from(logits_data)
+            loss.backward()
+            analytic = logits.grad.astype(np.float64)
+            numeric = finite_difference(lambda: float(loss_from(logits_data)[1].item()), logits_data)
+        np.testing.assert_allclose(analytic, numeric, rtol=FD_RTOL, atol=FD_ATOL)
+
+    def test_causal_attention(self):
+        rng = np.random.default_rng(10)
+        q_data = rng.standard_normal((1, 2, 5, 4))
+        with compute_dtype("float32"):
+            k = Tensor(rng.standard_normal((1, 2, 5, 4)))
+            v = Tensor(rng.standard_normal((1, 2, 5, 4)))
+
+            def loss_from(arr):
+                q = Tensor(arr, requires_grad=True)
+                out = F.scaled_dot_product_attention(q, k, v, is_causal=True)
+                return q, (out * out).sum()
+
+            q, loss = loss_from(q_data)
+            loss.backward()
+            analytic = q.grad.astype(np.float64)
+            numeric = finite_difference(lambda: float(loss_from(q_data)[1].item()), q_data)
+        np.testing.assert_allclose(analytic, numeric, rtol=FD_RTOL, atol=FD_ATOL)
+
+
+class TestDifferentiableAstype:
+    def test_cast_keeps_tape(self):
+        x = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        y = x.astype(np.float32)
+        assert y.requires_grad
+        (y * Tensor(np.array([2.0, 3.0, 4.0], dtype=np.float32))).sum().backward()
+        assert x.grad.dtype == np.float64
+        np.testing.assert_allclose(x.grad, [2.0, 3.0, 4.0])
+
+    def test_upcast_grad_returns_in_source_dtype(self):
+        with compute_dtype("float32"):
+            x = Tensor(np.ones(4), requires_grad=True)
+            assert x.dtype == np.float32
+            y = x.astype(np.float64)
+            # The explicit upcast must survive the downcast-only policy.
+            assert y.dtype == np.float64
+            (y * 3.0).sum().backward()
+            assert x.grad.dtype == np.float32
+            np.testing.assert_allclose(x.grad, 3.0)
+
+    def test_integer_cast_detaches(self):
+        x = Tensor(np.array([1.5, 2.5]), requires_grad=True)
+        y = x.astype(np.int64)
+        assert not y.requires_grad
+        assert y.dtype == np.int64
+
+    def test_same_dtype_cast_still_differentiable(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x.astype(np.float64)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
