@@ -1,5 +1,6 @@
 """Benchmark: engine micro-benchmarks (fused kernels, KV-cached decode,
-float32 compute policy, batched rollout, sharded evaluation).
+float32 compute policy, batched rollout, sharded evaluation, continuous-
+batching serving).
 
 Unlike the table/figure benchmarks this one trains nothing — it times the
 engine fast paths against the formulations they replaced and writes
@@ -27,6 +28,10 @@ DECODE_TARGET = 5.0
 #: float32 step time must be <= 0.8x the float64 step time.
 DTYPE_TARGET = 1.25
 BATCHED_ROLLOUT_TARGET = 2.0
+#: Continuous-batched serving must not be slower than serial per-request
+#: execution of the same trace (typically well above 1 — the scheduler folds
+#: next-hop requests into one padded KV-cached batch).
+SERVING_TARGET = 1.0
 #: Sharding needs cores (and cheap fork-based workers) to win; the gate only
 #: applies on multi-core machines where the fork start method exists.
 SHARDED_EVAL_TARGET = 2.0
@@ -39,6 +44,7 @@ EXPECTED_SECTIONS = {
     "dtype_policy",
     "batched_rollout",
     "sharded_eval",
+    "serving",
 }
 
 
@@ -48,6 +54,7 @@ def _gated_speedups(report) -> dict:
         "decode": DECODE_TARGET,
         "dtype_policy": DTYPE_TARGET,
         "batched_rollout": BATCHED_ROLLOUT_TARGET,
+        "serving": SERVING_TARGET,
     }
     if (os.cpu_count() or 1) >= SHARDED_EVAL_MIN_CPUS and "fork" in multiprocessing.get_all_start_methods():
         gates["sharded_eval"] = SHARDED_EVAL_TARGET
@@ -73,6 +80,11 @@ def test_perf_engine_report():
     # Sharded evaluation must merge to bit-identical results on any machine,
     # even where the parallel speedup gate does not apply.
     assert report.results["sharded_eval"]["identical"] == 1.0, report.results["sharded_eval"]
+    # Continuous-batched serving must return exactly what serial per-request
+    # execution returns, and its latency percentiles must be ordered.
+    serving = report.results["serving"]
+    assert serving["identical"] == 1.0, serving
+    assert serving["latency_p50_s"] <= serving["latency_p95_s"] <= serving["latency_p99_s"], serving
 
 
 def test_perf_config_hash_is_stable():

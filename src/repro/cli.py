@@ -20,6 +20,14 @@ without writing Python:
 ``repro radar``
     Render the Figure-1 radar chart as text.
 
+``repro serve``
+    Start the continuous-batching inference service over a warm model pool
+    and answer JSON-line requests from stdin.
+
+``repro loadgen``
+    Run the synthetic open-loop load generator against the service and
+    print serving metrics (requests/s, latency percentiles, occupancy).
+
 All commands are deterministic given ``--seed`` and run on CPU in minutes
 with the default ``quick`` profile.
 """
@@ -205,6 +213,196 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serving_pool(args: argparse.Namespace, dataset):
+    """Build the warm model pool for ``serve``/``loadgen``.
+
+    With ``--checkpoint`` the replicas are loaded straight from the
+    archive; otherwise a model is trained with the quick schedule, saved to
+    a temporary checkpoint, and the pool warm-loads that — so the serving
+    path through :mod:`repro.core.checkpoints` is always the one exercised.
+    """
+    import tempfile
+
+    from repro.core.checkpoints import save_bigcity
+    from repro.serving.pool import ModelPool
+
+    if args.checkpoint:
+        return ModelPool.from_checkpoint(args.checkpoint, dataset, replicas=args.replicas)
+    model_config = _model_config(args.size, args.seed)
+    training_config = TrainingConfig(
+        stage1_epochs=args.stage1_epochs,
+        stage2_epochs=args.stage2_epochs,
+        seed=args.seed,
+    )
+    _print(f"no --checkpoint given; training a {args.size} model first", stream=sys.stderr)
+    model, _ = train_bigcity(dataset, model_config=model_config, training_config=training_config)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_bigcity(model, Path(tmp) / "serve.npz", dataset_name=dataset.name)
+        return ModelPool.from_checkpoint(path, dataset, replicas=args.replicas)
+
+
+def _request_from_payload(payload: Dict, dataset):
+    """Decode one JSON-line request of the ``repro serve`` protocol."""
+    from repro.serving.requests import (
+        NextHopRequest,
+        RecoveryRequest,
+        TrafficImputationRequest,
+        TrafficPredictionRequest,
+    )
+
+    task = payload.get("task", "next_hop")
+    if task in ("next_hop", "recovery"):
+        if "trajectory" in payload:
+            trajectories = dataset.test_trajectories or dataset.trajectories
+            trajectory = trajectories[int(payload["trajectory"]) % len(trajectories)]
+        else:
+            from repro.data.trajectory import Trajectory
+
+            trajectory = Trajectory(
+                trajectory_id=int(payload.get("trajectory_id", -1)),
+                user_id=int(payload.get("user_id", 0)),
+                segments=[int(s) for s in payload["segments"]],
+                timestamps=[float(t) for t in payload["timestamps"]],
+            )
+        if task == "next_hop":
+            return NextHopRequest(trajectory=trajectory, steps=int(payload.get("steps", 1)))
+        kept = payload.get("kept", list(range(0, len(trajectory), 2)) + [len(trajectory) - 1])
+        # negative indices count from the end, so clients can say "kept": [0, 2, -1]
+        # without knowing the length of a split-referenced trajectory
+        return RecoveryRequest(
+            trajectory=trajectory,
+            kept_indices=tuple(sorted({int(i) % len(trajectory) for i in kept})),
+        )
+    if task == "traffic_prediction":
+        return TrafficPredictionRequest(
+            segment_id=int(payload["segment"]),
+            start_slice=int(payload.get("start", 0)),
+            history=int(payload.get("history", 4)),
+            horizon=int(payload.get("horizon", 1)),
+        )
+    if task == "traffic_imputation":
+        return TrafficImputationRequest(
+            segment_id=int(payload["segment"]),
+            start_slice=int(payload.get("start", 0)),
+            num_slices=int(payload.get("num_slices", 6)),
+            masked_positions=tuple(int(i) for i in payload.get("masked", (1,))),
+        )
+    raise ValueError(f"unknown task {task!r}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve JSON-line requests from stdin through the batching scheduler.
+
+    Results are printed to stdout as JSON lines **in submission order** (a
+    line is flushed as soon as every earlier request has finished), so a
+    piped burst of requests is folded into continuous batches while the
+    output stays aligned with the input.
+    """
+    import numpy as np
+
+    from repro.serving.service import ServingConfig, ServingService
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    pool = _serving_pool(args, dataset)
+    config = ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_queue_depth=args.max_queue_depth,
+        admission_policy=args.admission_policy,
+    )
+    service = ServingService(pool, config)
+    service.start()
+    _print(
+        f"serving {args.dataset} with {pool.size} warm replica(s), "
+        f"max batch {config.max_batch_size} (warm-up {pool.warmup_s:.2f}s); "
+        "reading JSON requests from stdin",
+        stream=sys.stderr,
+    )
+
+    def emit(handle) -> None:
+        try:
+            result = handle.result(timeout=args.request_timeout)
+            value = result.tolist() if isinstance(result, np.ndarray) else result
+            _print(json.dumps({
+                "task": handle.request.kind,
+                "result": value,
+                "latency_s": round(handle.latency_s, 6),
+                "batch_size": handle.batch_size,
+            }))
+        except Exception as error:  # noqa: BLE001 - reported on the wire
+            _print(json.dumps({"error": str(error)}))
+
+    pending = []
+    stream = open(args.input, "r", encoding="utf-8") if args.input else sys.stdin
+    try:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = _request_from_payload(json.loads(line), dataset)
+                pending.append(service.submit(request))
+            except Exception as error:  # noqa: BLE001 - reported on the wire
+                _print(json.dumps({"error": str(error)}))
+                continue
+            while pending and pending[0].done():
+                emit(pending.pop(0))
+        for handle in pending:
+            emit(handle)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+        service.stop()
+    summary = service.metrics.summary()
+    _print(
+        f"served {summary['requests']:.0f} request(s) at "
+        f"{summary['requests_per_s']:.1f} req/s, p50 {summary['latency_p50_s'] * 1e3:.1f}ms, "
+        f"mean batch {summary['batch_occupancy_mean']:.2f}",
+        stream=sys.stderr,
+    )
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load benchmark: serial baseline vs continuous batching."""
+    from repro.serving.loadgen import LoadGenConfig, run_loadgen
+    from repro.serving.service import ServingConfig
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    pool = _serving_pool(args, dataset)
+    load_config = LoadGenConfig(
+        num_requests=args.num_requests,
+        rate_hz=None if args.rate <= 0 else args.rate,
+        steps=args.steps,
+        seed=args.seed,
+    )
+    serving_config = ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_queue_depth=args.max_queue_depth,
+    )
+    # run_loadgen borrows one replica for the serial baseline and returns
+    # it before starting the service over the full pool.
+    result = run_loadgen(None, dataset, load_config, serving_config, pool=pool)
+    table = ResultTable(title=f"serving load benchmark on {args.dataset}")
+    table.add_row("serving", {k: v for k, v in sorted(result.items()) if not k.startswith("batch_occ_")})
+    if args.json:
+        _print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        _print(table.to_text())
+        histogram = ", ".join(
+            f"{key.removeprefix('batch_occ_')}: {value:.0f}"
+            for key, value in sorted(result.items(), key=lambda kv: kv[0])
+            if key.startswith("batch_occ_") and value
+        )
+        _print(f"batch-occupancy histogram (size: ticks): {histogram or 'empty'}")
+    if args.output:
+        Path(args.output).write_text(json.dumps(result, indent=2, sort_keys=True), encoding="utf-8")
+        _print(f"saved load benchmark to {args.output}", stream=sys.stderr)
+    if result["identical"] != 1.0:
+        _print("ERROR: batched results diverged from serial execution", stream=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_radar(args: argparse.Namespace) -> int:
     from repro.eval.experiments import run_fig1_radar
 
@@ -263,6 +461,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard experiments over N processes (default: $REPRO_EVAL_WORKERS or 1)",
     )
     experiment.set_defaults(func=cmd_experiment)
+
+    def add_serving_arguments(sub) -> None:
+        sub.add_argument("--dataset", default="xa_like", choices=sorted(DATASET_PRESETS))
+        sub.add_argument("--size", default="tiny", choices=("tiny", "small", "default"))
+        sub.add_argument("--checkpoint", default=None, help="warm the pool from this checkpoint instead of training")
+        sub.add_argument("--stage1-epochs", type=int, default=1)
+        sub.add_argument("--stage2-epochs", type=int, default=2)
+        sub.add_argument("--replicas", type=int, default=1, help="warm model replicas in the pool")
+        sub.add_argument("--max-batch-size", type=int, default=8)
+        sub.add_argument("--max-queue-depth", type=int, default=64)
+        sub.add_argument("--seed", type=int, default=0)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve JSON-line inference requests with continuous batching"
+    )
+    add_serving_arguments(serve)
+    serve.add_argument("--admission-policy", default="block", choices=("block", "reject"))
+    serve.add_argument("--request-timeout", type=float, default=30.0, help="per-request result timeout (s)")
+    serve.add_argument("--input", default=None, help="read JSON-line requests from this file instead of stdin")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="open-loop load benchmark of the serving layer"
+    )
+    add_serving_arguments(loadgen)
+    loadgen.add_argument("--num-requests", type=int, default=32)
+    loadgen.add_argument(
+        "--rate", type=float, default=40.0,
+        help="Poisson arrival rate in req/s; <= 0 submits the whole trace as a backlog",
+    )
+    loadgen.add_argument("--steps", type=int, default=2, help="rollout depth of next-hop requests")
+    loadgen.add_argument("--json", action="store_true")
+    loadgen.add_argument("--output", default=None, help="save the metrics dict as JSON")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     radar = subparsers.add_parser("radar", help="render the Figure 1 radar chart as text")
     radar.add_argument("--dataset", default="xa_like", choices=sorted(DATASET_PRESETS))

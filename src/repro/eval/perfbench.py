@@ -3,12 +3,14 @@
 The fused-kernel fast path (:mod:`repro.nn.functional`), the KV-cached
 decoding path (:class:`repro.nn.attention.KVCache`), the float32 compute
 policy (:func:`repro.nn.tensor.compute_dtype`), the batched rollout
-(``BIGCity.rollout_next_hops_batch``) and the sharded evaluation runner
-(:mod:`repro.eval.parallel`) are *claimed* speedups; this module measures
-them.  Each benchmark times the optimised path against the formulation it
+(``BIGCity.rollout_next_hops_batch``), the sharded evaluation runner
+(:mod:`repro.eval.parallel`) and the continuous-batching serving layer
+(:mod:`repro.serving`) are *claimed* speedups; this module measures them.
+Each benchmark times the optimised path against the formulation it
 replaced — fused vs composed tape nodes, cached vs full re-encode, float32
 vs float64 step, one padded batch vs per-trajectory rollouts, ``N`` worker
-processes vs an inline loop — and the report is written as
+processes vs an inline loop, a continuously-batched request trace vs
+serial per-request execution — and the report is written as
 ``BENCH_engine.json`` so later PRs have a perf trajectory to regress against
 (``scripts/bench_compare.py`` diffs two such files; sections that one report
 lacks are listed as skipped, so old baselines stay diffable as sections are
@@ -91,6 +93,14 @@ class PerfBenchConfig:
     # sharded evaluation (worker processes vs inline loop)
     eval_units: int = 6
     eval_workers: int = 4
+    # online serving (continuous batching vs serial request execution)
+    serving_requests: int = 24
+    serving_batch: int = 8
+    serving_steps: int = 2
+    #: Poisson arrival rate of the open-loop latency measurement — chosen
+    #: above what serial execution sustains (so batches actually fold) but
+    #: below the continuous-batching capacity.
+    serving_rate_hz: float = 250.0
     #: Paired samples per benchmark; each variant keeps its best sample.
     samples: int = 8
     seed: int = 0
@@ -474,6 +484,101 @@ def bench_sharded_eval(config: PerfBenchConfig) -> Dict[str, float]:
     }
 
 
+def bench_serving(config: PerfBenchConfig) -> Dict[str, float]:
+    """Continuous-batched serving vs serial per-request execution.
+
+    The same seeded mixed-task request trace (next-hop rollouts, trajectory
+    recovery, traffic prediction/imputation over a synthetic city) is run
+    two ways through :func:`repro.serving.loadgen.run_loadgen`:
+
+    * an **instantaneous backlog** — every request submitted at t=0 — which
+      measures peak continuous-batching throughput against the serial
+      baseline (the same trace executed one request at a time through the
+      shared execution helper); this is the gated ``speedup``;
+    * a **Poisson open-loop run** at ``serving_rate_hz``, which yields the
+      client-visible latency percentiles, batch-occupancy histogram and
+      queue depths under realistic arrivals.
+
+    ``identical`` records whether the batched results matched the serial
+    results bit-for-bit in *every* run (they must — the scheduler folds
+    requests into ``rollout_next_hops_batch``, which is equality-pinned).
+    """
+    from repro.core.config import BIGCityConfig
+    from repro.core.model import BIGCity
+    from repro.data.datasets import CityDataset, make_splits
+    from repro.serving import LoadGenConfig, ServingConfig
+    from repro.serving.loadgen import run_loadgen
+
+    network, city, trajectories, traffic = _synthetic_city(config.seed, 16)
+    splits = make_splits(len(trajectories), (0.5, 0.2, 0.3), seed=config.seed)
+    dataset = CityDataset(
+        name="serving_bench",
+        network=network,
+        trajectories=trajectories,
+        traffic_states=traffic,
+        splits=splits,
+        time_axis=city.time_axis,
+    )
+    model = BIGCity.from_dataset(dataset, config=BIGCityConfig.tiny(seed=config.seed))
+    model.eval()
+    serving_config = ServingConfig(max_batch_size=config.serving_batch)
+    backlog = LoadGenConfig(
+        num_requests=config.serving_requests, rate_hz=None, steps=config.serving_steps, seed=config.seed
+    )
+
+    # Backlog drain, paired-best over a few samples: throughput comparison.
+    best: Dict[str, float] = {}
+    identical = 1.0
+    for _ in range(max(1, min(config.samples, 3))):
+        run = run_loadgen(model, dataset, backlog, serving_config)
+        identical = min(identical, run["identical"])
+        if not best or run["batched_s"] < best["batched_s"]:
+            best = dict(run)
+        best["serial_s"] = min(best["serial_s"], run["serial_s"])
+
+    # Poisson open loop: latency/occupancy under realistic arrivals.
+    poisson = run_loadgen(
+        model,
+        dataset,
+        LoadGenConfig(
+            num_requests=config.serving_requests,
+            rate_hz=config.serving_rate_hz,
+            steps=config.serving_steps,
+            seed=config.seed,
+        ),
+        serving_config,
+    )
+    identical = min(identical, poisson["identical"])
+
+    serial_s, batched_s = best["serial_s"], best["batched_s"]
+    result: Dict[str, float] = {
+        "requests": float(config.serving_requests),
+        "serial_s": serial_s,
+        "batched_s": batched_s,
+        "serial_requests_per_s": config.serving_requests / serial_s if serial_s > 0 else float("inf"),
+        "requests_per_s": config.serving_requests / batched_s if batched_s > 0 else float("inf"),
+        "speedup": serial_s / batched_s if batched_s > 0 else float("inf"),
+        "identical": identical,
+        "poisson_rate_hz": config.serving_rate_hz,
+    }
+    for key in (
+        "latency_p50_s",
+        "latency_p95_s",
+        "latency_p99_s",
+        "wait_mean_s",
+        "batch_occupancy_mean",
+        "batch_occupancy_max",
+        "queue_depth_mean",
+        "queue_depth_max",
+        "ticks",
+    ):
+        result[key] = poisson[key]
+    for key, value in poisson.items():
+        if key.startswith("batch_occ_"):
+            result[key] = value
+    return result
+
+
 def run_perfbench(
     config: Optional[PerfBenchConfig] = None,
     include: Optional[List[str]] = None,
@@ -481,8 +586,8 @@ def run_perfbench(
     """Run the engine micro-benchmarks and return the report.
 
     ``include`` selects a subset of ``{"tokenizer", "forward_backward",
-    "decode", "dtype_policy", "batched_rollout", "sharded_eval"}``; the
-    default runs all of them.
+    "decode", "dtype_policy", "batched_rollout", "sharded_eval",
+    "serving"}``; the default runs all of them.
     """
     config = config or PerfBenchConfig()
     benches: Dict[str, Callable[[PerfBenchConfig], Dict[str, float]]] = {
@@ -492,6 +597,7 @@ def run_perfbench(
         "dtype_policy": bench_dtype_policy,
         "batched_rollout": bench_batched_rollout,
         "sharded_eval": bench_sharded_eval,
+        "serving": bench_serving,
     }
     selected = include if include is not None else list(benches)
     unknown = [name for name in selected if name not in benches]

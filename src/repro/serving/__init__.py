@@ -1,0 +1,71 @@
+"""Online inference service with continuous batching.
+
+Every other entry point of the reproduction is offline: the evaluators and
+experiment runners hand the model a complete workload up front.  This
+package serves requests **as they arrive**:
+
+* :mod:`repro.serving.requests` — one :class:`ServingRequest` dataclass per
+  task type (next-hop rollout, trajectory recovery, traffic-state
+  prediction/imputation) and the :class:`ResultHandle` a client waits on;
+* :mod:`repro.serving.execution` — the shared serial-execution helper: one
+  request, one model call.  The scheduler's serial-equality oracle, the
+  load generator's baseline and the tests all dispatch through it;
+* :mod:`repro.serving.queue` — a bounded admission queue with block/reject
+  overflow policies;
+* :mod:`repro.serving.pool` — a warm pool of model replicas loaded from one
+  checkpoint at startup and leased to scheduler ticks;
+* :mod:`repro.serving.scheduler` — the continuous-batching tick: drain the
+  queue, fold compatible next-hop requests into ONE right-padded KV-cached
+  ``rollout_next_hops_batch`` call, complete every handle;
+* :mod:`repro.serving.service` — :class:`ServingService`, wiring queue,
+  pool and scheduler together behind ``submit()``/``start()``/``stop()``;
+* :mod:`repro.serving.metrics` — requests/s, latency percentiles,
+  batch-occupancy histogram and queue-depth tracking;
+* :mod:`repro.serving.loadgen` — a synthetic open-loop (Poisson-arrival)
+  load generator over :mod:`repro.data.synthetic` scenarios.
+
+The continuous-batched results are bit-for-bit identical to executing each
+request serially (``tests/test_serving_scheduler.py``); the throughput win
+is measured by the ``serving`` section of :mod:`repro.eval.perfbench`.
+"""
+
+from repro.serving.execution import execute_request, results_equal, run_serial_trace
+from repro.serving.loadgen import LoadGenConfig, build_request_trace, poisson_arrivals, run_loadgen
+from repro.serving.metrics import ServingMetrics
+from repro.serving.pool import ModelPool
+from repro.serving.queue import AdmissionQueue, AdmissionTimeout, QueueClosed, QueueFull
+from repro.serving.requests import (
+    NextHopRequest,
+    RecoveryRequest,
+    RequestFailed,
+    ResultHandle,
+    ServingRequest,
+    TrafficImputationRequest,
+    TrafficPredictionRequest,
+)
+from repro.serving.service import ServingConfig, ServingService
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmissionTimeout",
+    "LoadGenConfig",
+    "ModelPool",
+    "NextHopRequest",
+    "QueueClosed",
+    "QueueFull",
+    "RecoveryRequest",
+    "RequestFailed",
+    "ResultHandle",
+    "ServingConfig",
+    "ServingMetrics",
+    "ServingRequest",
+    "ServingService",
+    "TrafficImputationRequest",
+    "TrafficPredictionRequest",
+    "build_request_trace",
+    "execute_request",
+    "poisson_arrivals",
+    "results_equal",
+    "run_loadgen",
+    "run_serial_trace",
+]

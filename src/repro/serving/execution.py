@@ -1,0 +1,89 @@
+"""Serial request execution — the single source of truth for "what should
+this request return?".
+
+Exactly one function, :func:`execute_request`, maps a
+:class:`~repro.serving.requests.ServingRequest` to the single-prompt
+``BIGCity`` call that answers it.  Every consumer that needs the serial
+answer dispatches through it instead of re-implementing the rollout loop:
+
+* the continuous-batching scheduler, for request kinds that do not fold
+  into a padded batch yet;
+* the serial-equality oracle in ``tests/test_serving_scheduler.py`` and the
+  ``serving`` perfbench section, which assert that continuous batching
+  returns bit-for-bit what serial execution returns;
+* the load generator's serial-throughput baseline.
+
+This mirrors how :class:`repro.tasks.next_hop.NextHopEvaluator` scores
+single-prompt calls offline — one request, one model call, no copy-pasted
+per-task loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.serving.requests import (
+    NextHopRequest,
+    RecoveryRequest,
+    ServingRequest,
+    TrafficImputationRequest,
+    TrafficPredictionRequest,
+)
+
+__all__ = ["execute_request", "run_serial_trace", "results_equal"]
+
+
+def execute_request(model, request: ServingRequest):
+    """Answer one request with the corresponding single-prompt model call.
+
+    ``model`` is a :class:`repro.core.model.BIGCity`; every branch runs
+    under the model helper's own ``no_grad`` scope and is deterministic, so
+    this function doubles as the serial oracle the batched scheduler is
+    equality-tested against.
+    """
+    if isinstance(request, NextHopRequest):
+        return model.rollout_next_hops(
+            request.trajectory,
+            steps=request.steps,
+            constrain_to_network=request.constrain_to_network,
+        )
+    if isinstance(request, RecoveryRequest):
+        return model.recover_trajectory(
+            request.trajectory,
+            request.kept_indices,
+            constrain_to_network=request.constrain_to_network,
+        )
+    if isinstance(request, TrafficPredictionRequest):
+        return model.predict_traffic_state(
+            request.segment_id,
+            request.start_slice,
+            request.history,
+            request.horizon,
+        )
+    if isinstance(request, TrafficImputationRequest):
+        return model.impute_traffic_state(
+            request.segment_id,
+            request.start_slice,
+            request.num_slices,
+            request.masked_positions,
+        )
+    raise TypeError(f"unsupported serving request type {type(request)!r}")
+
+
+def run_serial_trace(model, trace: Sequence[ServingRequest]) -> List:
+    """Execute a request trace one request at a time, in order.
+
+    This is the offline baseline the serving layer is compared against —
+    both for correctness (results must match bit-for-bit) and for
+    throughput (continuous batching must not be slower).
+    """
+    return [execute_request(model, request) for request in trace]
+
+
+def results_equal(left, right) -> bool:
+    """Bit-for-bit equality of two per-request results (arrays or scalars)."""
+    left_array = np.asarray(left)
+    right_array = np.asarray(right)
+    return left_array.shape == right_array.shape and bool(np.array_equal(left_array, right_array))

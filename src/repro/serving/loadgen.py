@@ -1,0 +1,254 @@
+"""Synthetic open-loop load generator for the serving layer.
+
+Open-loop means arrivals do not wait for responses: request ``i`` is
+submitted at a Poisson arrival time drawn independently of how the service
+is doing, which is how real user traffic behaves and what exposes queueing
+delay (a closed-loop client can never build a backlog).  The generator is
+deterministic given its seed — the *trace* (which requests, in which
+order, at which offsets) is reproducible, so batched-vs-serial comparisons
+run the exact same workload.
+
+Three entry points:
+
+* :func:`build_request_trace` — a seeded mixed-task request trace over a
+  :class:`~repro.data.datasets.CityDataset` (synthetic presets included);
+* :func:`run_open_loop` — submit a trace against a running
+  :class:`~repro.serving.service.ServingService` at Poisson arrival times
+  (or as an instantaneous backlog with ``rate_hz=None``) and gather the
+  metrics summary plus per-request results;
+* :func:`run_loadgen` — the packaged experiment: same trace executed
+  serially (the offline baseline via the shared execution helper) and
+  through the service, returning the ``serving`` metrics section used by
+  :mod:`repro.eval.perfbench` and the ``repro loadgen`` CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.datasets import CityDataset
+from repro.serving.execution import results_equal, run_serial_trace
+from repro.serving.pool import ModelPool
+from repro.serving.requests import (
+    NextHopRequest,
+    RecoveryRequest,
+    ResultHandle,
+    ServingRequest,
+    TrafficImputationRequest,
+    TrafficPredictionRequest,
+)
+from repro.serving.service import ServingConfig, ServingService
+
+__all__ = [
+    "LoadGenConfig",
+    "build_request_trace",
+    "poisson_arrivals",
+    "run_open_loop",
+    "run_loadgen",
+]
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Shape of the synthetic workload."""
+
+    num_requests: int = 32
+    #: mean arrival rate (Poisson); ``None`` submits everything at t=0
+    #: (a pure backlog drain, the throughput-comparison mode).
+    rate_hz: Optional[float] = 40.0
+    #: relative frequency of each request kind; kinds a dataset cannot
+    #: serve (traffic tasks without traffic states) are dropped and the
+    #: remaining weights renormalised.
+    mix: Tuple[Tuple[str, float], ...] = (
+        ("next_hop", 0.7),
+        ("recovery", 0.1),
+        ("traffic_prediction", 0.1),
+        ("traffic_imputation", 0.1),
+    )
+    #: rollout depth of generated next-hop requests.
+    steps: int = 2
+    #: history/horizon of generated traffic-prediction requests.
+    history: int = 4
+    horizon: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+        if self.rate_hz is not None and self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive (or None for a backlog)")
+
+
+def poisson_arrivals(num_requests: int, rate_hz: float, seed: int = 0) -> np.ndarray:
+    """Cumulative arrival offsets (seconds) of a Poisson process at ``rate_hz``."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_hz, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    arrivals[0] = 0.0  # first request fires immediately; only gaps matter
+    return arrivals
+
+
+def build_request_trace(dataset: CityDataset, config: Optional[LoadGenConfig] = None) -> List[ServingRequest]:
+    """A seeded, reproducible mixed-task request trace over ``dataset``."""
+    config = config or LoadGenConfig()
+    rng = np.random.default_rng(config.seed)
+    trajectories = [t for t in dataset.test_trajectories if len(t) >= 4]
+    if not trajectories:
+        trajectories = [t for t in dataset.trajectories if len(t) >= 4]
+    if not trajectories:
+        raise ValueError("dataset has no trajectory of length >= 4 to build requests from")
+
+    mix = dict(config.mix)
+    if dataset.traffic_states is None:
+        mix.pop("traffic_prediction", None)
+        mix.pop("traffic_imputation", None)
+    kinds = sorted(mix)
+    weights = np.asarray([mix[kind] for kind in kinds], dtype=np.float64)
+    if weights.sum() <= 0:
+        raise ValueError("request mix has no positive weight")
+    weights = weights / weights.sum()
+
+    trace: List[ServingRequest] = []
+    for _ in range(config.num_requests):
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        if kind == "next_hop":
+            trajectory = trajectories[int(rng.integers(len(trajectories)))]
+            trace.append(NextHopRequest(trajectory=trajectory, steps=config.steps))
+        elif kind == "recovery":
+            trajectory = trajectories[int(rng.integers(len(trajectories)))]
+            # keep both endpoints and every other interior sample, so each
+            # gap is a single missing position between two observations.
+            kept = tuple(range(0, len(trajectory), 2)) + (len(trajectory) - 1,)
+            trace.append(RecoveryRequest(trajectory=trajectory, kept_indices=tuple(sorted(set(kept)))))
+        elif kind == "traffic_prediction":
+            states = dataset.traffic_states
+            segment = int(rng.integers(states.num_segments))
+            start = int(rng.integers(max(states.num_slices - config.history - config.horizon, 1)))
+            trace.append(
+                TrafficPredictionRequest(
+                    segment_id=segment,
+                    start_slice=start,
+                    history=config.history,
+                    horizon=config.horizon,
+                )
+            )
+        elif kind == "traffic_imputation":
+            states = dataset.traffic_states
+            segment = int(rng.integers(states.num_segments))
+            num_slices = min(config.history + 2, states.num_slices)
+            start = int(rng.integers(max(states.num_slices - num_slices, 1)))
+            masked = (int(rng.integers(1, max(num_slices - 1, 2))),)
+            trace.append(
+                TrafficImputationRequest(
+                    segment_id=segment,
+                    start_slice=start,
+                    num_slices=num_slices,
+                    masked_positions=masked,
+                )
+            )
+        else:
+            raise ValueError(f"unknown request kind {kind!r} in mix")
+    return trace
+
+
+def run_open_loop(
+    service: ServingService,
+    trace: Sequence[ServingRequest],
+    rate_hz: Optional[float] = None,
+    seed: int = 0,
+    timeout_s: float = 60.0,
+) -> Tuple[List, Dict[str, float]]:
+    """Submit ``trace`` open-loop against a *running* service.
+
+    With ``rate_hz`` set, request ``i`` is submitted at its Poisson arrival
+    offset (submission never waits for earlier results); with ``None`` the
+    whole trace is submitted instantly — a backlog drain that measures peak
+    continuous-batching throughput.  Returns ``(results, metrics_summary)``
+    with results in trace order.
+    """
+    offsets = (
+        poisson_arrivals(len(trace), rate_hz, seed=seed)
+        if rate_hz is not None
+        else np.zeros(len(trace))
+    )
+    handles: List[ResultHandle] = []
+    start = time.monotonic()
+    for request, offset in zip(trace, offsets):
+        delay = start + float(offset) - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        handles.append(service.submit(request))
+    results = [handle.result(timeout=timeout_s) for handle in handles]
+    return results, service.metrics.summary()
+
+
+def run_loadgen(
+    model,
+    dataset: CityDataset,
+    config: Optional[LoadGenConfig] = None,
+    serving_config: Optional[ServingConfig] = None,
+    pool: Optional[ModelPool] = None,
+) -> Dict[str, float]:
+    """Run one packaged load experiment: serial baseline vs continuous batching.
+
+    The same seeded trace is executed twice — one request at a time through
+    the shared serial helper, then open-loop through a fresh
+    :class:`ServingService` (over ``pool`` when given, else a single-replica
+    pool wrapping ``model``).  With only a pool given, the serial baseline
+    borrows a replica and returns it before the service starts.  The
+    returned flat dict is the ``serving`` perfbench section: serial/batched
+    wall-clock and requests/s, latency percentiles, batch-occupancy
+    histogram, queue depths, and an ``identical`` flag asserting the two
+    executions matched bit-for-bit.
+    """
+    if model is None and pool is None:
+        raise ValueError("run_loadgen needs a model, a pool, or both")
+    config = config or LoadGenConfig()
+    serving_config = serving_config or ServingConfig()
+    trace = build_request_trace(dataset, config)
+
+    if model is not None:
+        started = time.perf_counter()
+        serial_results = run_serial_trace(model, trace)
+        serial_s = time.perf_counter() - started
+    else:
+        with pool.lease() as replica:
+            started = time.perf_counter()
+            serial_results = run_serial_trace(replica, trace)
+            serial_s = time.perf_counter() - started
+
+    service = ServingService(pool or ModelPool([model]), serving_config)
+    service.start()
+    try:
+        started = time.perf_counter()
+        batched_results, summary = run_open_loop(
+            service, trace, rate_hz=config.rate_hz, seed=config.seed
+        )
+        batched_s = time.perf_counter() - started
+    finally:
+        service.stop()
+
+    identical = all(
+        results_equal(serial, batched)
+        for serial, batched in zip(serial_results, batched_results)
+    )
+    out: Dict[str, float] = {
+        "requests": float(len(trace)),
+        "serial_s": serial_s,
+        "batched_s": batched_s,
+        "serial_requests_per_s": len(trace) / serial_s if serial_s > 0 else float("inf"),
+        "requests_per_s": len(trace) / batched_s if batched_s > 0 else float("inf"),
+        "speedup": serial_s / batched_s if batched_s > 0 else float("inf"),
+        "identical": 1.0 if identical else 0.0,
+    }
+    for key, value in summary.items():
+        # the open-loop summary's own requests/duration fields would
+        # shadow the trace-level ones above; keep the detailed names.
+        if key in ("requests", "requests_per_s", "duration_s"):
+            continue
+        out[key] = value
+    return out

@@ -1,0 +1,114 @@
+"""Serving metrics: throughput, latency percentiles, batch occupancy, queue depth.
+
+One :class:`ServingMetrics` instance is owned by the service and fed from
+two sides: scheduler ticks record their batch size / queue depth /
+duration, and completed handles record per-request latency splits (queue
+wait vs service time).  ``summary()`` reduces everything to the flat
+``{str: float}`` dictionary shape the perfbench report and the CLI table
+both consume:
+
+* ``requests_per_s`` — completed requests over the observation window;
+* ``latency_p50_s`` / ``latency_p95_s`` / ``latency_p99_s`` — client
+  latency percentiles (submission to completion);
+* ``batch_occupancy_mean`` and a fixed-width histogram
+  ``batch_occ_{1..max_batch_size}`` — how full scheduler ticks ran;
+* ``queue_depth_max`` / ``queue_depth_mean`` — backlog pressure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serving.requests import ResultHandle
+
+__all__ = ["ServingMetrics", "latency_percentiles"]
+
+
+def latency_percentiles(latencies: Sequence[float], quantiles: Sequence[float] = (50, 95, 99)) -> Dict[str, float]:
+    """``{"latency_p50_s": ..., ...}`` via linear-interpolated percentiles."""
+    values = np.asarray(sorted(latencies), dtype=np.float64)
+    out: Dict[str, float] = {}
+    for q in quantiles:
+        key = f"latency_p{int(q)}_s"
+        out[key] = float(np.percentile(values, q)) if values.size else 0.0
+    return out
+
+
+class ServingMetrics:
+    """Thread-safe accumulator for one service run."""
+
+    def __init__(self, max_batch_size: int) -> None:
+        self.max_batch_size = max_batch_size
+        self._lock = threading.Lock()
+        self._latencies: List[float] = []
+        self._waits: List[float] = []
+        self._batch_sizes: List[int] = []
+        self._queue_depths: List[int] = []
+        self._tick_durations: List[float] = []
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def mark_started(self) -> None:
+        with self._lock:
+            self._started_at = time.monotonic()
+
+    def mark_stopped(self) -> None:
+        with self._lock:
+            self._stopped_at = time.monotonic()
+
+    def record_tick(self, batch_size: int, queue_depth: int, duration_s: float) -> None:
+        with self._lock:
+            self._batch_sizes.append(int(batch_size))
+            self._queue_depths.append(int(queue_depth))
+            self._tick_durations.append(float(duration_s))
+
+    def record_completion(self, handle: ResultHandle) -> None:
+        with self._lock:
+            if handle.latency_s is not None:
+                self._latencies.append(handle.latency_s)
+            if handle.wait_s is not None:
+                self._waits.append(handle.wait_s)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        with self._lock:
+            return len(self._latencies)
+
+    def batch_histogram(self) -> Dict[int, int]:
+        """``{batch size: number of ticks that ran at that occupancy}``."""
+        with self._lock:
+            histogram = {size: 0 for size in range(1, self.max_batch_size + 1)}
+            for size in self._batch_sizes:
+                histogram[min(size, self.max_batch_size)] = histogram.get(min(size, self.max_batch_size), 0) + 1
+            return histogram
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            latencies = list(self._latencies)
+            waits = list(self._waits)
+            batch_sizes = list(self._batch_sizes)
+            queue_depths = list(self._queue_depths)
+            started, stopped = self._started_at, self._stopped_at
+        duration = (stopped if stopped is not None else time.monotonic()) - (started or 0.0)
+        duration = max(duration, 1e-9)
+        out: Dict[str, float] = {
+            "requests": float(len(latencies)),
+            "duration_s": float(duration) if started is not None else 0.0,
+            "requests_per_s": (len(latencies) / duration) if started is not None else 0.0,
+            "ticks": float(len(batch_sizes)),
+            "batch_occupancy_mean": float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            "batch_occupancy_max": float(max(batch_sizes)) if batch_sizes else 0.0,
+            "queue_depth_mean": float(np.mean(queue_depths)) if queue_depths else 0.0,
+            "queue_depth_max": float(max(queue_depths)) if queue_depths else 0.0,
+            "wait_mean_s": float(np.mean(waits)) if waits else 0.0,
+        }
+        out.update(latency_percentiles(latencies))
+        for size, count in self.batch_histogram().items():
+            out[f"batch_occ_{size}"] = float(count)
+        return out

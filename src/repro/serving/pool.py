@@ -1,0 +1,112 @@
+"""Warm model pool: replicas loaded once at startup, leased per tick.
+
+Constructing a ``BIGCity`` model (tokenizer tables, backbone weights) takes
+long enough that doing it on a request path would dominate p50 latency.
+The pool therefore pays that cost once, *before* the service starts taking
+traffic: ``from_checkpoint`` loads ``replicas`` independent copies of one
+trained checkpoint through :func:`repro.core.checkpoints.load_bigcity`, and
+scheduler ticks borrow a replica with :meth:`ModelPool.lease` — a blocking
+checkout, so at most ``replicas`` ticks execute concurrently and a replica
+is never shared by two ticks.
+
+Every replica is rebuilt from the same ``.npz`` archive, so all replicas —
+and any later fresh load of the same file — produce bit-identical outputs
+(pinned by ``tests/test_serving_pool.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from typing import Callable, List, Optional
+
+__all__ = ["ModelPool"]
+
+
+class ModelPool:
+    """A fixed set of interchangeable model replicas with blocking checkout."""
+
+    def __init__(self, models: List) -> None:
+        if not models:
+            raise ValueError("a model pool needs at least one replica")
+        self._replicas = list(models)
+        self._available: List = list(models)
+        self._lock = threading.Lock()
+        self._returned = threading.Condition(self._lock)
+        #: wall-clock seconds spent constructing the replicas (0 when the
+        #: caller built them; ``from_checkpoint`` records its warm-up cost).
+        self.warmup_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        dataset,
+        replicas: int = 1,
+        strict_dataset: bool = True,
+    ) -> "ModelPool":
+        """Load ``replicas`` independent copies of one checkpoint (warm start)."""
+        from repro.core.checkpoints import load_bigcity
+
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        started = time.perf_counter()
+        models = []
+        for _ in range(replicas):
+            model, _metadata = load_bigcity(path, dataset, strict_dataset=strict_dataset)
+            models.append(model)
+        pool = cls(models)
+        pool.warmup_s = time.perf_counter() - started
+        return pool
+
+    @classmethod
+    def from_factory(cls, factory: Callable[[], object], replicas: int = 1) -> "ModelPool":
+        """Build ``replicas`` models from a zero-argument factory (tests, demos)."""
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        started = time.perf_counter()
+        pool = cls([factory() for _ in range(replicas)])
+        pool.warmup_s = time.perf_counter() - started
+        return pool
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self._replicas)
+
+    def available(self) -> int:
+        with self._lock:
+            return len(self._available)
+
+    def acquire(self, timeout_s: Optional[float] = None):
+        """Check out a replica, blocking until one is returned."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._returned:
+            while not self._available:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"no model replica free within {timeout_s}s (pool size {self.size})"
+                    )
+                self._returned.wait(remaining)
+            return self._available.pop()
+
+    def release(self, model) -> None:
+        with self._returned:
+            if not any(model is replica for replica in self._replicas):
+                raise ValueError("released model does not belong to this pool")
+            if any(model is replica for replica in self._available):
+                raise ValueError("released model is already available")
+            self._available.append(model)
+            self._returned.notify()
+
+    @contextlib.contextmanager
+    def lease(self, timeout_s: Optional[float] = None):
+        """``with pool.lease() as model:`` — checkout scoped to a block."""
+        model = self.acquire(timeout_s)
+        try:
+            yield model
+        finally:
+            self.release(model)

@@ -1,0 +1,119 @@
+"""Bounded admission queue with configurable overflow behaviour.
+
+The service admits requests through one of these queues.  Capacity is
+bounded so an overloaded service sheds load at the door instead of growing
+an unbounded backlog; what happens at the bound is the *admission policy*:
+
+``"block"``
+    ``put`` waits (up to a timeout) for space — an open-loop client
+    experiences back-pressure as added latency;
+``"reject"``
+    ``put`` raises :class:`QueueFull` immediately — the client sees an
+    explicit overload signal and can retry elsewhere.
+
+The scheduler side drains with :meth:`AdmissionQueue.take_batch`: block
+until at least one item is queued (or a timeout elapses), then take up to
+``max_items`` in FIFO order — the admission half of continuous batching.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from typing import Deque, List, Optional, TypeVar
+
+__all__ = ["AdmissionQueue", "QueueFull", "AdmissionTimeout", "QueueClosed"]
+
+T = TypeVar("T")
+
+_POLICIES = ("block", "reject")
+
+
+class QueueFull(RuntimeError):
+    """The queue is at capacity and the admission policy is ``"reject"``."""
+
+
+class AdmissionTimeout(TimeoutError):
+    """A blocking ``put`` did not find space within its timeout."""
+
+
+class QueueClosed(RuntimeError):
+    """``put`` after :meth:`AdmissionQueue.close` (the service has stopped)."""
+
+
+class AdmissionQueue:
+    """Thread-safe bounded FIFO queue for :class:`ResultHandle` admission."""
+
+    def __init__(self, capacity: int = 64, policy: str = "block") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown admission policy {policy!r}; choose from {_POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self._items: Deque[T] = collections.deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def put(self, item: T, timeout_s: Optional[float] = None) -> None:
+        """Admit ``item``, applying the overflow policy at capacity."""
+        with self._not_full:
+            if self._closed:
+                raise QueueClosed("queue is closed; the service has stopped accepting requests")
+            if len(self._items) >= self.capacity:
+                if self.policy == "reject":
+                    raise QueueFull(
+                        f"queue at capacity ({self.capacity}) and admission policy is 'reject'"
+                    )
+                deadline = None if timeout_s is None else time.monotonic() + timeout_s
+                while len(self._items) >= self.capacity and not self._closed:
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        raise AdmissionTimeout(
+                            f"no queue space within {timeout_s}s (capacity {self.capacity})"
+                        )
+                    self._not_full.wait(remaining)
+                if self._closed:
+                    raise QueueClosed("queue closed while waiting for space")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def take_batch(self, max_items: int, timeout_s: Optional[float] = None) -> List[T]:
+        """Take up to ``max_items`` in FIFO order; block until >= 1 is available.
+
+        Returns an empty list when the timeout elapses with nothing queued,
+        or when the queue has been closed and drained — the scheduler loop
+        treats both as "idle tick".
+        """
+        if max_items < 1:
+            raise ValueError("max_items must be >= 1")
+        with self._not_empty:
+            if not self._items and not self._closed:
+                self._not_empty.wait(timeout_s)
+            batch = []
+            while self._items and len(batch) < max_items:
+                batch.append(self._items.popleft())
+            if batch:
+                self._not_full.notify_all()
+            return batch
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked ``put``/``take_batch``."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

@@ -1,0 +1,177 @@
+"""Request and response types of the online inference service.
+
+One frozen dataclass per task type the service can answer.  Each request
+carries exactly the arguments of the corresponding ``BIGCity`` inference
+helper, plus a ``batch_key`` describing which requests may be folded into
+one padded batch by the scheduler (requests with equal keys are
+*compatible*; today only next-hop rollouts batch, everything else runs as a
+batch of one inside the same tick).
+
+Clients receive a :class:`ResultHandle` — a minimal ``Future``: ``done()``,
+``result(timeout)``, and the timing fields the serving metrics are built
+from.  Handles are completed exactly once, by the scheduler tick that
+executed them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.data.trajectory import Trajectory
+
+__all__ = [
+    "NextHopRequest",
+    "RecoveryRequest",
+    "TrafficPredictionRequest",
+    "TrafficImputationRequest",
+    "ServingRequest",
+    "ResultHandle",
+    "RequestFailed",
+]
+
+
+class RequestFailed(RuntimeError):
+    """Raised by :meth:`ResultHandle.result` when the request errored server-side."""
+
+
+@dataclass(frozen=True)
+class NextHopRequest:
+    """Autoregressively extend a trajectory by ``steps`` segments."""
+
+    trajectory: Trajectory
+    steps: int = 1
+    constrain_to_network: bool = True
+
+    kind = "next_hop"
+
+    def batch_key(self) -> Tuple:
+        # Rollouts with the same step count and decoding constraint fold
+        # into one padded KV-cached batch.
+        return (self.kind, self.steps, self.constrain_to_network)
+
+
+@dataclass(frozen=True)
+class RecoveryRequest:
+    """Recover the masked segments of a low-sample-rate trajectory."""
+
+    trajectory: Trajectory
+    kept_indices: Tuple[int, ...]
+    constrain_to_network: bool = True
+
+    kind = "recovery"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kept_indices", tuple(int(i) for i in self.kept_indices))
+
+    def batch_key(self) -> Tuple:
+        return (self.kind, id(self))  # not batchable yet: one request per call
+
+
+@dataclass(frozen=True)
+class TrafficPredictionRequest:
+    """Forecast ``horizon`` traffic states of one segment from ``history`` slices."""
+
+    segment_id: int
+    start_slice: int
+    history: int
+    horizon: int = 1
+
+    kind = "traffic_prediction"
+
+    def batch_key(self) -> Tuple:
+        return (self.kind, id(self))
+
+
+@dataclass(frozen=True)
+class TrafficImputationRequest:
+    """Impute the masked traffic states of one segment."""
+
+    segment_id: int
+    start_slice: int
+    num_slices: int
+    masked_positions: Tuple[int, ...]
+
+    kind = "traffic_imputation"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "masked_positions", tuple(int(i) for i in self.masked_positions))
+
+    def batch_key(self) -> Tuple:
+        return (self.kind, id(self))
+
+
+ServingRequest = Union[
+    NextHopRequest,
+    RecoveryRequest,
+    TrafficPredictionRequest,
+    TrafficImputationRequest,
+]
+
+
+@dataclass
+class ResultHandle:
+    """Client-visible handle for one submitted request (a minimal ``Future``).
+
+    Timing fields use :func:`time.monotonic`:
+
+    ``submitted_at``
+        when the request was admitted to the queue;
+    ``started_at`` / ``completed_at``
+        when the scheduler tick that served it began executing and when the
+        result was published;
+    ``batch_size``
+        how many requests shared that tick (the batch-occupancy metric).
+    """
+
+    request: ServingRequest
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    batch_size: int = 0
+    _result: object = None
+    _error: Optional[BaseException] = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    # -- scheduler side -------------------------------------------------
+    def mark_started(self, batch_size: int) -> None:
+        self.started_at = time.monotonic()
+        self.batch_size = batch_size
+
+    def complete(self, result: object) -> None:
+        self._result = result
+        self.completed_at = time.monotonic()
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self.completed_at = time.monotonic()
+        self._done.set()
+
+    # -- client side ----------------------------------------------------
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        """Block until the request completes and return (or raise) its outcome."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"request {self.request!r} did not complete within {timeout}s")
+        if self._error is not None:
+            raise RequestFailed(str(self._error)) from self._error
+        return self._result
+
+    # -- metrics --------------------------------------------------------
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Queue wait plus service time (what the client experiences)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at

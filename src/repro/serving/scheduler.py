@@ -1,0 +1,80 @@
+"""The continuous-batching tick: fold a drained batch into few model calls.
+
+:func:`run_tick` receives the handles one scheduler iteration drained from
+the admission queue and a leased model replica, and answers every handle:
+
+1. group handles by ``request.batch_key()`` **preserving arrival order**;
+2. a group of compatible next-hop rollouts becomes ONE call to
+   ``BIGCity.rollout_next_hops_batch`` — one right-padded KV-cached batch
+   with per-row ``position_ids``, the kernel PR 4 built;
+3. every other group (recovery, traffic prediction/imputation — and any
+   lone next-hop request) runs through the shared serial helper
+   :func:`repro.serving.execution.execute_request`.
+
+Because ``rollout_next_hops_batch`` is pinned bit-for-bit against the
+serial rollout, a tick's results equal serial per-request execution exactly
+— the property ``tests/test_serving_scheduler.py`` asserts end-to-end over
+mixed traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.serving.execution import execute_request
+from repro.serving.requests import NextHopRequest, ResultHandle
+
+__all__ = ["run_tick", "TickResult"]
+
+
+@dataclass
+class TickResult:
+    """What one scheduler tick did (feeds the batch-occupancy metrics)."""
+
+    batch_size: int
+    #: number of underlying model calls the batch was folded into.
+    model_calls: int
+    #: handles answered by the folded next-hop batch call(s).
+    batched_requests: int
+
+
+def run_tick(model, handles: Sequence[ResultHandle]) -> TickResult:
+    """Execute one drained batch on a leased model replica.
+
+    Every handle is completed (or failed) exactly once before this returns;
+    errors are per-group, so one failing request cannot wedge the tick.
+    """
+    batch_size = len(handles)
+    for handle in handles:
+        handle.mark_started(batch_size)
+
+    groups: Dict[Tuple, List[ResultHandle]] = {}
+    for handle in handles:
+        groups.setdefault(handle.request.batch_key(), []).append(handle)
+
+    model_calls = 0
+    batched_requests = 0
+    for key, group in groups.items():
+        is_next_hop_fold = isinstance(group[0].request, NextHopRequest) and len(group) > 1
+        try:
+            if is_next_hop_fold:
+                first = group[0].request
+                rollouts = model.rollout_next_hops_batch(
+                    [handle.request.trajectory for handle in group],
+                    steps=first.steps,
+                    constrain_to_network=first.constrain_to_network,
+                )
+                model_calls += 1
+                batched_requests += len(group)
+                for handle, rollout in zip(group, rollouts):
+                    handle.complete(rollout)
+            else:
+                for handle in group:
+                    handle.complete(execute_request(model, handle.request))
+                    model_calls += 1
+        except Exception as error:  # noqa: BLE001 - published to the client
+            for handle in group:
+                if not handle.done():
+                    handle.fail(error)
+    return TickResult(batch_size=batch_size, model_calls=model_calls, batched_requests=batched_requests)

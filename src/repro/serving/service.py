@@ -1,0 +1,139 @@
+"""The serving loop: admission queue + warm pool + continuous batching.
+
+:class:`ServingService` is the piece a client talks to::
+
+    pool = ModelPool.from_checkpoint("model.npz", dataset, replicas=2)
+    service = ServingService(pool, ServingConfig(max_batch_size=8))
+    service.start()
+    handle = service.submit(NextHopRequest(trajectory, steps=3))
+    segments = handle.result(timeout=5.0)
+    service.stop()           # drains the queue, then joins the workers
+
+``submit`` admits the request into a bounded :class:`AdmissionQueue`
+(blocking or rejecting at capacity, per :class:`ServingConfig`) and returns
+a :class:`ResultHandle` immediately — the client decides when to wait.
+One worker thread per pool replica runs the scheduler loop: block until at
+least one request is queued, drain up to ``max_batch_size``, lease a
+replica, :func:`~repro.serving.scheduler.run_tick` it, publish results.
+With several replicas, ticks overlap (NumPy releases the GIL inside BLAS);
+with one, the loop degenerates to classic dynamic batching.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.serving.metrics import ServingMetrics
+from repro.serving.pool import ModelPool
+from repro.serving.queue import AdmissionQueue
+from repro.serving.requests import ResultHandle, ServingRequest
+from repro.serving.scheduler import run_tick
+
+__all__ = ["ServingConfig", "ServingService"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving loop."""
+
+    #: most requests one scheduler tick may fold into a batch.
+    max_batch_size: int = 8
+    #: admission queue capacity (back-pressure bound).
+    max_queue_depth: int = 64
+    #: what happens at capacity: ``"block"`` (bounded wait) or ``"reject"``.
+    admission_policy: str = "block"
+    #: how long a blocking ``submit`` may wait for queue space.
+    admission_timeout_s: Optional[float] = 5.0
+    #: how long an idle worker waits for the first request of a tick.
+    idle_wait_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+
+
+class ServingService:
+    """Continuous-batching inference service over a warm model pool."""
+
+    def __init__(self, pool: ModelPool, config: Optional[ServingConfig] = None) -> None:
+        self.pool = pool
+        self.config = config or ServingConfig()
+        self.queue: AdmissionQueue = AdmissionQueue(
+            capacity=self.config.max_queue_depth,
+            policy=self.config.admission_policy,
+        )
+        self.metrics = ServingMetrics(max_batch_size=self.config.max_batch_size)
+        self._workers: List[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._draining = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopping.is_set()
+
+    def start(self) -> "ServingService":
+        """Spawn one scheduler worker per warm replica and begin serving."""
+        if self._started:
+            raise RuntimeError("service already started")
+        self._started = True
+        self.metrics.mark_started()
+        for index in range(self.pool.size):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serving-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def submit(self, request: ServingRequest) -> ResultHandle:
+        """Admit one request; returns its handle without waiting for the result."""
+        handle = ResultHandle(request=request)
+        self.queue.put(handle, timeout_s=self.config.admission_timeout_s)
+        return handle
+
+    def stop(self, drain: bool = True, timeout_s: float = 30.0) -> None:
+        """Stop the service; with ``drain=True`` finish queued requests first."""
+        if not self._started:
+            return
+        if drain:
+            self._draining.set()
+            deadline = time.monotonic() + timeout_s
+            while self.queue.depth() > 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+        self._stopping.set()
+        self.queue.close()
+        for worker in self._workers:
+            worker.join(timeout=timeout_s)
+        self.metrics.mark_stopped()
+
+    def __enter__(self) -> "ServingService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.take_batch(
+                self.config.max_batch_size, timeout_s=self.config.idle_wait_s
+            )
+            if not batch:
+                if self._stopping.is_set():
+                    return
+                continue
+            depth_after = self.queue.depth()
+            started = time.perf_counter()
+            with self.pool.lease() as model:
+                run_tick(model, batch)
+            duration = time.perf_counter() - started
+            self.metrics.record_tick(len(batch), depth_after, duration)
+            for handle in batch:
+                self.metrics.record_completion(handle)

@@ -145,3 +145,81 @@ class TestHelpers:
         assert cli._model_config("default", seed=3).seed == 3
         with pytest.raises(ValueError):
             cli._model_config("huge", seed=0)
+
+
+@pytest.fixture()
+def serving_checkpoint(tmp_path, tiny_dataset, trained_model):
+    from repro.core.checkpoints import save_bigcity
+
+    return save_bigcity(trained_model, tmp_path / "serving.npz", dataset_name=tiny_dataset.name)
+
+
+@pytest.mark.serving
+class TestServeCommand:
+    def test_subcommands_registered(self):
+        parser = cli.build_parser()
+        assert parser.parse_args(["serve"]).command == "serve"
+        args = parser.parse_args(["loadgen", "--num-requests", "5"])
+        assert args.command == "loadgen"
+        assert args.num_requests == 5
+
+    def test_serve_answers_request_file_in_order(self, capsys, monkeypatch, tmp_path, tiny_dataset, serving_checkpoint):
+        monkeypatch.setattr(cli, "load_dataset", lambda name, seed=0: tiny_dataset)
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            "\n".join(
+                [
+                    json.dumps({"task": "next_hop", "trajectory": 0, "steps": 2}),
+                    json.dumps({"task": "next_hop", "trajectory": 1, "steps": 2}),
+                    json.dumps({"task": "recovery", "trajectory": 2}),
+                    "not json at all",
+                ]
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        exit_code = cli.main(
+            [
+                "serve",
+                "--checkpoint",
+                str(serving_checkpoint),
+                "--input",
+                str(requests),
+                "--max-batch-size",
+                "4",
+            ]
+        )
+        assert exit_code == 0
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        answers = [line for line in lines if "result" in line]
+        errors = [line for line in lines if "error" in line]
+        assert [a["task"] for a in answers] == ["next_hop", "next_hop", "recovery"]
+        assert all(len(a["result"]) >= 1 for a in answers)
+        assert len(errors) == 1  # the malformed line is reported, not fatal
+
+    def test_loadgen_json_output(self, capsys, monkeypatch, tmp_path, tiny_dataset, serving_checkpoint):
+        monkeypatch.setattr(cli, "load_dataset", lambda name, seed=0: tiny_dataset)
+        output = tmp_path / "serving.json"
+        exit_code = cli.main(
+            [
+                "loadgen",
+                "--checkpoint",
+                str(serving_checkpoint),
+                "--num-requests",
+                "8",
+                "--rate",
+                "0",
+                "--max-batch-size",
+                "4",
+                "--json",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] == 1.0
+        assert payload["requests"] == 8.0
+        assert payload["requests_per_s"] > 0.0
+        saved = json.loads(output.read_text())
+        assert saved["requests"] == payload["requests"]

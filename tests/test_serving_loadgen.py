@@ -1,0 +1,138 @@
+"""Open-loop load generator and serving metrics (`repro.serving.loadgen`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    LoadGenConfig,
+    ModelPool,
+    NextHopRequest,
+    ServingConfig,
+    build_request_trace,
+    poisson_arrivals,
+)
+from repro.serving.loadgen import run_loadgen
+from repro.serving.metrics import ServingMetrics, latency_percentiles
+from repro.serving.requests import ResultHandle
+
+pytestmark = pytest.mark.serving
+
+
+class TestTrace:
+    def test_trace_is_deterministic(self, tiny_dataset):
+        config = LoadGenConfig(num_requests=16, seed=3)
+        first = build_request_trace(tiny_dataset, config)
+        second = build_request_trace(tiny_dataset, config)
+        assert len(first) == 16
+        for a, b in zip(first, second):
+            assert type(a) is type(b)
+            assert a.batch_key()[0] == b.batch_key()[0]
+        kinds = {request.kind for request in first}
+        assert "next_hop" in kinds  # dominant mix component must appear
+
+    def test_traffic_kinds_dropped_without_traffic_states(self, tiny_dataset_no_traffic):
+        trace = build_request_trace(tiny_dataset_no_traffic, LoadGenConfig(num_requests=12, seed=0))
+        assert all(request.kind in ("next_hop", "recovery") for request in trace)
+
+    def test_next_hop_requests_use_configured_steps(self, tiny_dataset):
+        trace = build_request_trace(
+            tiny_dataset, LoadGenConfig(num_requests=8, seed=1, steps=3, mix=(("next_hop", 1.0),))
+        )
+        assert all(isinstance(request, NextHopRequest) and request.steps == 3 for request in trace)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(rate_hz=-1.0)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_and_monotone(self):
+        first = poisson_arrivals(64, rate_hz=100.0, seed=5)
+        second = poisson_arrivals(64, rate_hz=100.0, seed=5)
+        np.testing.assert_array_equal(first, second)
+        assert first[0] == 0.0
+        assert np.all(np.diff(first) >= 0)
+
+    def test_mean_gap_tracks_rate(self):
+        arrivals = poisson_arrivals(4000, rate_hz=50.0, seed=0)
+        mean_gap = float(np.diff(arrivals).mean())
+        assert mean_gap == pytest.approx(1.0 / 50.0, rel=0.15)
+
+
+class TestMetrics:
+    def test_percentiles_ordered_and_summary_shape(self):
+        metrics = ServingMetrics(max_batch_size=4)
+        metrics.mark_started()
+        for batch, depth in ((4, 6), (4, 2), (2, 0)):
+            metrics.record_tick(batch, depth, duration_s=0.01)
+        for latency in (0.01, 0.02, 0.03, 0.04, 0.05):
+            handle = ResultHandle(request=None)
+            handle.mark_started(batch_size=4)
+            handle.complete(None)
+            handle.submitted_at = handle.completed_at - latency
+            metrics.record_completion(handle)
+        metrics.mark_stopped()
+        summary = metrics.summary()
+        assert summary["requests"] == 5.0
+        assert summary["latency_p50_s"] <= summary["latency_p95_s"] <= summary["latency_p99_s"]
+        assert summary["batch_occupancy_max"] == 4.0
+        assert summary["queue_depth_max"] == 6.0
+        # fixed-width histogram: one bucket per batch size up to the max
+        assert summary["batch_occ_4"] == 2.0
+        assert summary["batch_occ_2"] == 1.0
+        assert summary["batch_occ_1"] == 0.0
+
+    def test_empty_percentiles_are_zero(self):
+        assert latency_percentiles([]) == {
+            "latency_p50_s": 0.0,
+            "latency_p95_s": 0.0,
+            "latency_p99_s": 0.0,
+        }
+
+
+class TestRunLoadgen:
+    def test_backlog_run_is_identical_and_complete(self, trained_model, tiny_dataset):
+        result = run_loadgen(
+            trained_model,
+            tiny_dataset,
+            LoadGenConfig(num_requests=10, rate_hz=None, seed=2),
+            ServingConfig(max_batch_size=4),
+        )
+        assert result["identical"] == 1.0
+        assert result["requests"] == 10.0
+        assert result["requests_per_s"] > 0.0
+        assert result["latency_p50_s"] <= result["latency_p99_s"]
+        histogram_total = sum(
+            size * count
+            for size in range(1, 5)
+            for count in [result[f"batch_occ_{size}"]]
+        )
+        assert histogram_total == 10.0  # every request accounted to one tick
+
+    def test_poisson_run_is_identical(self, trained_model, tiny_dataset):
+        result = run_loadgen(
+            trained_model,
+            tiny_dataset,
+            LoadGenConfig(num_requests=8, rate_hz=200.0, seed=4),
+            ServingConfig(max_batch_size=4),
+        )
+        assert result["identical"] == 1.0
+        assert result["requests"] == 8.0
+
+    def test_pool_only_invocation(self, trained_model, tiny_dataset):
+        result = run_loadgen(
+            None,
+            tiny_dataset,
+            LoadGenConfig(num_requests=6, rate_hz=None, seed=5),
+            ServingConfig(max_batch_size=4),
+            pool=ModelPool([trained_model]),
+        )
+        assert result["identical"] == 1.0
+
+    def test_requires_model_or_pool(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            run_loadgen(None, tiny_dataset)

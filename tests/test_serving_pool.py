@@ -1,0 +1,99 @@
+"""Warm model pool: checkpoint round-trip and replica leasing (`repro.serving.pool`)."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoints import load_bigcity, save_bigcity
+from repro.serving.pool import ModelPool
+
+pytestmark = pytest.mark.serving
+
+
+@pytest.fixture(scope="module")
+def checkpoint(trained_model, tiny_dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serving_pool") / "model.npz"
+    return save_bigcity(trained_model, path, dataset_name=tiny_dataset.name)
+
+
+class TestWarmPoolRoundTrip:
+    def test_replicas_bit_identical_to_fresh_model(self, checkpoint, tiny_dataset, trained_model):
+        """N warm replicas from one checkpoint == a freshly constructed model, bit for bit."""
+        pool = ModelPool.from_checkpoint(checkpoint, tiny_dataset, replicas=2)
+        fresh, _ = load_bigcity(checkpoint, tiny_dataset)
+
+        trajectories = [t for t in tiny_dataset.test_trajectories if len(t) >= 4][:4]
+        reference_times = fresh.estimate_travel_time(trajectories)
+        reference_rollouts = fresh.rollout_next_hops_batch(trajectories, steps=2)
+        # the checkpoint already round-trips the original training run
+        np.testing.assert_array_equal(reference_times, trained_model.estimate_travel_time(trajectories))
+
+        for _ in range(pool.size):
+            # drain replicas one by one so each is checked exactly once
+            replica = pool.acquire(timeout_s=1.0)
+            np.testing.assert_array_equal(replica.estimate_travel_time(trajectories), reference_times)
+            rollouts = replica.rollout_next_hops_batch(trajectories, steps=2)
+            for rolled, reference in zip(rollouts, reference_rollouts):
+                np.testing.assert_array_equal(rolled, reference)
+
+    def test_replicas_are_independent_objects(self, checkpoint, tiny_dataset):
+        pool = ModelPool.from_checkpoint(checkpoint, tiny_dataset, replicas=2)
+        first = pool.acquire()
+        second = pool.acquire()
+        assert first is not second
+        first_parameters = list(first.parameters())
+        second_parameters = list(second.parameters())
+        assert len(first_parameters) == len(second_parameters)
+        assert all(p1 is not p2 for p1, p2 in zip(first_parameters, second_parameters))
+
+    def test_warmup_time_recorded(self, checkpoint, tiny_dataset):
+        pool = ModelPool.from_checkpoint(checkpoint, tiny_dataset, replicas=1)
+        assert pool.warmup_s > 0.0
+
+
+class TestLeasing:
+    def test_lease_checks_out_and_returns(self, checkpoint, tiny_dataset):
+        pool = ModelPool.from_checkpoint(checkpoint, tiny_dataset, replicas=2)
+        assert pool.available() == 2
+        with pool.lease() as first:
+            assert pool.available() == 1
+            with pool.lease() as second:
+                assert pool.available() == 0
+                assert first is not second
+        assert pool.available() == 2
+
+    def test_acquire_times_out_when_exhausted(self, checkpoint, tiny_dataset):
+        pool = ModelPool.from_checkpoint(checkpoint, tiny_dataset, replicas=1)
+        with pool.lease():
+            with pytest.raises(TimeoutError):
+                pool.acquire(timeout_s=0.01)
+
+    def test_acquire_blocks_until_release(self, checkpoint, tiny_dataset):
+        pool = ModelPool.from_checkpoint(checkpoint, tiny_dataset, replicas=1)
+        model = pool.acquire()
+        acquired = []
+
+        def waiter():
+            acquired.append(pool.acquire(timeout_s=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        pool.release(model)
+        thread.join(timeout=5.0)
+        assert acquired and acquired[0] is model
+
+    def test_foreign_or_double_release_rejected(self, checkpoint, tiny_dataset):
+        pool = ModelPool.from_checkpoint(checkpoint, tiny_dataset, replicas=1)
+        with pytest.raises(ValueError):
+            pool.release(object())
+        model = pool.acquire()
+        pool.release(model)
+        with pytest.raises(ValueError):
+            pool.release(model)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ModelPool([])
