@@ -85,6 +85,24 @@ def test_perf_engine_report():
     serving = report.results["serving"]
     assert serving["identical"] == 1.0, serving
     assert serving["latency_p50_s"] <= serving["latency_p95_s"] <= serving["latency_p99_s"], serving
+    # With no fault plan installed the resilience layer must be invisible:
+    # a clean benchmark run sheds, retries, isolates, fails, respawns and
+    # quarantines exactly nothing, and the load generator observes no
+    # rejected/failed/timed-out requests.
+    for counter in (
+        "shed",
+        "retried",
+        "isolated",
+        "failed",
+        "respawned",
+        "quarantined",
+        "rejected",
+        "loadgen_rejected",
+        "loadgen_failed",
+        "loadgen_timeouts",
+        "failure_rate",
+    ):
+        assert serving[counter] == 0.0, (counter, serving)
 
 
 def test_perf_config_hash_is_stable():

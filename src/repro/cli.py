@@ -251,6 +251,8 @@ def _request_from_payload(payload: Dict, dataset):
     )
 
     task = payload.get("task", "next_hop")
+    deadline_s = payload.get("deadline_s")
+    deadline_s = None if deadline_s is None else float(deadline_s)
     if task in ("next_hop", "recovery"):
         if "trajectory" in payload:
             trajectories = dataset.test_trajectories or dataset.trajectories
@@ -265,13 +267,18 @@ def _request_from_payload(payload: Dict, dataset):
                 timestamps=[float(t) for t in payload["timestamps"]],
             )
         if task == "next_hop":
-            return NextHopRequest(trajectory=trajectory, steps=int(payload.get("steps", 1)))
+            return NextHopRequest(
+                trajectory=trajectory,
+                steps=int(payload.get("steps", 1)),
+                deadline_s=deadline_s,
+            )
         kept = payload.get("kept", list(range(0, len(trajectory), 2)) + [len(trajectory) - 1])
         # negative indices count from the end, so clients can say "kept": [0, 2, -1]
         # without knowing the length of a split-referenced trajectory
         return RecoveryRequest(
             trajectory=trajectory,
             kept_indices=tuple(sorted({int(i) % len(trajectory) for i in kept})),
+            deadline_s=deadline_s,
         )
     if task == "traffic_prediction":
         return TrafficPredictionRequest(
@@ -279,6 +286,7 @@ def _request_from_payload(payload: Dict, dataset):
             start_slice=int(payload.get("start", 0)),
             history=int(payload.get("history", 4)),
             horizon=int(payload.get("horizon", 1)),
+            deadline_s=deadline_s,
         )
     if task == "traffic_imputation":
         return TrafficImputationRequest(
@@ -286,6 +294,7 @@ def _request_from_payload(payload: Dict, dataset):
             start_slice=int(payload.get("start", 0)),
             num_slices=int(payload.get("num_slices", 6)),
             masked_positions=tuple(int(i) for i in payload.get("masked", (1,))),
+            deadline_s=deadline_s,
         )
     raise ValueError(f"unknown task {task!r}")
 
@@ -359,6 +368,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"mean batch {summary['batch_occupancy_mean']:.2f}",
         stream=sys.stderr,
     )
+    failure_counters = {
+        name: summary[name]
+        for name in ("shed", "failed", "retried", "respawned", "quarantined", "rejected")
+        if summary.get(name)
+    }
+    if failure_counters:
+        _print(
+            "failure counters: "
+            + ", ".join(f"{name}={count:.0f}" for name, count in sorted(failure_counters.items())),
+            stream=sys.stderr,
+        )
     return 0
 
 
@@ -399,6 +419,15 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         _print(f"saved load benchmark to {args.output}", stream=sys.stderr)
     if result["identical"] != 1.0:
         _print("ERROR: batched results diverged from serial execution", stream=sys.stderr)
+        return 1
+    if result.get("failure_rate", 0.0) > 0.0:
+        _print(
+            f"ERROR: {result['failure_rate']:.1%} of requests failed "
+            f"(rejected {result.get('loadgen_rejected', 0):.0f}, "
+            f"failed {result.get('loadgen_failed', 0):.0f}, "
+            f"timed out {result.get('loadgen_timeouts', 0):.0f})",
+            stream=sys.stderr,
+        )
         return 1
     return 0
 

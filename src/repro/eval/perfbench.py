@@ -526,12 +526,35 @@ def bench_serving(config: PerfBenchConfig) -> Dict[str, float]:
         num_requests=config.serving_requests, rate_hz=None, steps=config.serving_steps, seed=config.seed
     )
 
+    # Failure counters aggregate as a max over every run below: the fault
+    # layer is at its no-op default here, so any nonzero value in any run
+    # is a real regression and must show up in the report.
+    failure_keys = (
+        "shed",
+        "retried",
+        "isolated",
+        "failed",
+        "respawned",
+        "quarantined",
+        "rejected",
+        "loadgen_rejected",
+        "loadgen_failed",
+        "loadgen_timeouts",
+        "failure_rate",
+    )
+    failures: Dict[str, float] = {key: 0.0 for key in failure_keys}
+
+    def observe_failures(run: Dict[str, float]) -> None:
+        for key in failure_keys:
+            failures[key] = max(failures[key], float(run.get(key, 0.0)))
+
     # Backlog drain, paired-best over a few samples: throughput comparison.
     best: Dict[str, float] = {}
     identical = 1.0
     for _ in range(max(1, min(config.samples, 3))):
         run = run_loadgen(model, dataset, backlog, serving_config)
         identical = min(identical, run["identical"])
+        observe_failures(run)
         if not best or run["batched_s"] < best["batched_s"]:
             best = dict(run)
         best["serial_s"] = min(best["serial_s"], run["serial_s"])
@@ -549,6 +572,7 @@ def bench_serving(config: PerfBenchConfig) -> Dict[str, float]:
         serving_config,
     )
     identical = min(identical, poisson["identical"])
+    observe_failures(poisson)
 
     serial_s, batched_s = best["serial_s"], best["batched_s"]
     result: Dict[str, float] = {
@@ -576,6 +600,7 @@ def bench_serving(config: PerfBenchConfig) -> Dict[str, float]:
     for key, value in poisson.items():
         if key.startswith("batch_occ_"):
             result[key] = value
+    result.update(failures)
     return result
 
 

@@ -28,13 +28,18 @@ accumulate in float64 internally and cast back.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, list, tuple, "Tensor"]
 
-_GRAD_ENABLED = True
+#: Grad mode is *per-thread*: the serving layer runs inference ticks on
+#: worker threads concurrently with each other (multi-replica pools) and
+#: with whatever the main thread is doing, so a process-wide flag would let
+#: one thread's ``no_grad()`` exit re-enable grad mid-rollout on another.
+_GRAD_STATE = threading.local()
 
 _FUSED_ENABLED = True
 
@@ -90,20 +95,23 @@ def compute_dtype(dtype):
 
 
 def is_grad_enabled() -> bool:
-    """Return ``True`` when operations record gradient information."""
-    return _GRAD_ENABLED
+    """Return ``True`` when operations record gradient information (this thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph construction (inference mode).
+
+    The flag is thread-local: disabling grad on a serving worker never
+    affects a training loop or another tick running concurrently.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def fused_enabled() -> bool:

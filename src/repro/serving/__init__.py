@@ -20,9 +20,15 @@ package serves requests **as they arrive**:
 * :mod:`repro.serving.service` — :class:`ServingService`, wiring queue,
   pool and scheduler together behind ``submit()``/``start()``/``stop()``;
 * :mod:`repro.serving.metrics` — requests/s, latency percentiles,
-  batch-occupancy histogram and queue-depth tracking;
+  batch-occupancy histogram, queue-depth tracking and failure counters;
 * :mod:`repro.serving.loadgen` — a synthetic open-loop (Poisson-arrival)
-  load generator over :mod:`repro.data.synthetic` scenarios.
+  load generator over :mod:`repro.data.synthetic` scenarios;
+* :mod:`repro.serving.resilience` — typed failures (deadline, circuit
+  breaker, stopped service), the deterministic :class:`RetryPolicy` and
+  the transient-error classification the scheduler retries under;
+* :mod:`repro.serving.faults` — the deterministic fault-injection harness
+  (:class:`FaultPlan`), threaded through execution/scheduler/pool behind
+  a no-op default so chaos tests can exercise every recovery path.
 
 The continuous-batched results are bit-for-bit identical to executing each
 request serially (``tests/test_serving_scheduler.py``); the throughput win
@@ -30,10 +36,20 @@ is measured by the ``serving`` section of :mod:`repro.eval.perfbench`.
 """
 
 from repro.serving.execution import execute_request, results_equal, run_serial_trace
+from repro.serving.faults import FaultPlan, InjectedFault, TransientInjectedFault
 from repro.serving.loadgen import LoadGenConfig, build_request_trace, poisson_arrivals, run_loadgen
 from repro.serving.metrics import ServingMetrics
 from repro.serving.pool import ModelPool
 from repro.serving.queue import AdmissionQueue, AdmissionTimeout, QueueClosed, QueueFull
+from repro.serving.resilience import (
+    CircuitOpen,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServiceStopped,
+    TransientError,
+    call_with_retries,
+    is_transient,
+)
 from repro.serving.requests import (
     NextHopRequest,
     RecoveryRequest,
@@ -48,6 +64,10 @@ from repro.serving.service import ServingConfig, ServingService
 __all__ = [
     "AdmissionQueue",
     "AdmissionTimeout",
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "FaultPlan",
+    "InjectedFault",
     "LoadGenConfig",
     "ModelPool",
     "NextHopRequest",
@@ -56,14 +76,20 @@ __all__ = [
     "RecoveryRequest",
     "RequestFailed",
     "ResultHandle",
+    "RetryPolicy",
+    "ServiceStopped",
     "ServingConfig",
     "ServingMetrics",
     "ServingRequest",
     "ServingService",
     "TrafficImputationRequest",
     "TrafficPredictionRequest",
+    "TransientError",
+    "TransientInjectedFault",
     "build_request_trace",
+    "call_with_retries",
     "execute_request",
+    "is_transient",
     "poisson_arrivals",
     "results_equal",
     "run_loadgen",

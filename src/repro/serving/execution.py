@@ -35,14 +35,28 @@ from repro.serving.requests import (
 __all__ = ["execute_request", "run_serial_trace", "results_equal"]
 
 
-def execute_request(model, request: ServingRequest):
+def execute_request(model, request: ServingRequest, faults=None):
     """Answer one request with the corresponding single-prompt model call.
 
     ``model`` is a :class:`repro.core.model.BIGCity`; every branch runs
     under the model helper's own ``no_grad`` scope and is deterministic, so
     this function doubles as the serial oracle the batched scheduler is
     equality-tested against.
+
+    ``faults`` is an optional :class:`repro.serving.faults.FaultPlan`:
+    ``on_execute`` may raise or delay before the model call and
+    ``transform_result`` may corrupt the answer afterwards — both no-ops by
+    default, so the oracle path is untouched unless a chaos test injects.
     """
+    if faults is not None:
+        faults.on_execute(request)
+    result = _dispatch_request(model, request)
+    if faults is not None:
+        result = faults.transform_result(request, result)
+    return result
+
+
+def _dispatch_request(model, request: ServingRequest):
     if isinstance(request, NextHopRequest):
         return model.rollout_next_hops(
             request.trajectory,

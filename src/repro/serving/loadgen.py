@@ -33,14 +33,17 @@ import numpy as np
 from repro.data.datasets import CityDataset
 from repro.serving.execution import results_equal, run_serial_trace
 from repro.serving.pool import ModelPool
+from repro.serving.queue import AdmissionTimeout, QueueClosed, QueueFull
 from repro.serving.requests import (
     NextHopRequest,
     RecoveryRequest,
+    RequestFailed,
     ResultHandle,
     ServingRequest,
     TrafficImputationRequest,
     TrafficPredictionRequest,
 )
+from repro.serving.resilience import CircuitOpen
 from repro.serving.service import ServingConfig, ServingService
 
 __all__ = [
@@ -169,21 +172,53 @@ def run_open_loop(
     whole trace is submitted instantly — a backlog drain that measures peak
     continuous-batching throughput.  Returns ``(results, metrics_summary)``
     with results in trace order.
+
+    The run never aborts on a per-request failure: a request the service
+    rejects at admission (``QueueFull``/``AdmissionTimeout``/
+    ``CircuitOpen``), fails server-side (``RequestFailed``, including
+    deadline sheds) or that never completes within ``timeout_s`` yields
+    ``None`` in the results list and is counted in the summary's
+    ``loadgen_rejected`` / ``loadgen_failed`` / ``loadgen_timeouts``
+    fields; ``failure_rate`` is their combined fraction of the trace.
     """
     offsets = (
         poisson_arrivals(len(trace), rate_hz, seed=seed)
         if rate_hz is not None
         else np.zeros(len(trace))
     )
-    handles: List[ResultHandle] = []
+    handles: List[Optional[ResultHandle]] = []
+    rejected = 0
     start = time.monotonic()
     for request, offset in zip(trace, offsets):
         delay = start + float(offset) - time.monotonic()
         if delay > 0:
             time.sleep(delay)
-        handles.append(service.submit(request))
-    results = [handle.result(timeout=timeout_s) for handle in handles]
-    return results, service.metrics.summary()
+        try:
+            handles.append(service.submit(request))
+        except (QueueFull, AdmissionTimeout, QueueClosed, CircuitOpen):
+            handles.append(None)
+            rejected += 1
+    results: List = []
+    failed = 0
+    timeouts = 0
+    for handle in handles:
+        if handle is None:
+            results.append(None)
+            continue
+        try:
+            results.append(handle.result(timeout=timeout_s))
+        except RequestFailed:
+            results.append(None)
+            failed += 1
+        except TimeoutError:
+            results.append(None)
+            timeouts += 1
+    summary = service.metrics.summary()
+    summary["loadgen_rejected"] = float(rejected)
+    summary["loadgen_failed"] = float(failed)
+    summary["loadgen_timeouts"] = float(timeouts)
+    summary["failure_rate"] = (rejected + failed + timeouts) / max(len(trace), 1)
+    return results, summary
 
 
 def run_loadgen(
@@ -192,6 +227,7 @@ def run_loadgen(
     config: Optional[LoadGenConfig] = None,
     serving_config: Optional[ServingConfig] = None,
     pool: Optional[ModelPool] = None,
+    faults=None,
 ) -> Dict[str, float]:
     """Run one packaged load experiment: serial baseline vs continuous batching.
 
@@ -202,8 +238,9 @@ def run_loadgen(
     borrows a replica and returns it before the service starts.  The
     returned flat dict is the ``serving`` perfbench section: serial/batched
     wall-clock and requests/s, latency percentiles, batch-occupancy
-    histogram, queue depths, and an ``identical`` flag asserting the two
-    executions matched bit-for-bit.
+    histogram, queue depths, failure counters (all zero without an injected
+    ``faults`` plan), and an ``identical`` flag asserting the two
+    executions matched bit-for-bit over every request that completed.
     """
     if model is None and pool is None:
         raise ValueError("run_loadgen needs a model, a pool, or both")
@@ -221,7 +258,7 @@ def run_loadgen(
             serial_results = run_serial_trace(replica, trace)
             serial_s = time.perf_counter() - started
 
-    service = ServingService(pool or ModelPool([model]), serving_config)
+    service = ServingService(pool or ModelPool([model]), serving_config, faults=faults)
     service.start()
     try:
         started = time.perf_counter()
@@ -232,8 +269,10 @@ def run_loadgen(
     finally:
         service.stop()
 
+    # Equality is judged over requests that actually completed; failed or
+    # rejected requests are accounted separately via failure_rate.
     identical = all(
-        results_equal(serial, batched)
+        batched is None or results_equal(serial, batched)
         for serial, batched in zip(serial_results, batched_results)
     )
     out: Dict[str, float] = {

@@ -12,7 +12,14 @@ both consume:
   latency percentiles (submission to completion);
 * ``batch_occupancy_mean`` and a fixed-width histogram
   ``batch_occ_{1..max_batch_size}`` — how full scheduler ticks ran;
-* ``queue_depth_max`` / ``queue_depth_mean`` — backlog pressure.
+* ``queue_depth_max`` / ``queue_depth_mean`` — backlog pressure;
+* failure counters from the resilience layer — ``shed`` (deadline passed
+  before execution), ``retried`` (transient-failure retry attempts),
+  ``isolated`` (batch-mates rescued from a poisoned fold), ``failed``
+  (requests that ended in error), ``respawned`` (crashed workers
+  restarted by the supervisor), ``quarantined`` (replicas pulled from
+  circulation) and ``rejected`` (submissions refused by the circuit
+  breaker).  All zero on a healthy run.
 """
 
 from __future__ import annotations
@@ -51,6 +58,10 @@ class ServingMetrics:
         self._tick_durations: List[float] = []
         self._started_at: Optional[float] = None
         self._stopped_at: Optional[float] = None
+        self._counters: Dict[str, int] = {
+            key: 0
+            for key in ("shed", "retried", "isolated", "failed", "respawned", "quarantined", "rejected")
+        }
 
     # ------------------------------------------------------------------
     def mark_started(self) -> None:
@@ -74,6 +85,17 @@ class ServingMetrics:
             if handle.wait_s is not None:
                 self._waits.append(handle.wait_s)
 
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Bump one failure counter (``shed``/``retried``/``isolated``/...)."""
+        if name not in self._counters:
+            raise KeyError(f"unknown serving counter {name!r}; choose from {sorted(self._counters)}")
+        with self._lock:
+            self._counters[name] += int(count)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
     # ------------------------------------------------------------------
     @property
     def completed(self) -> int:
@@ -94,6 +116,7 @@ class ServingMetrics:
             waits = list(self._waits)
             batch_sizes = list(self._batch_sizes)
             queue_depths = list(self._queue_depths)
+            counters = dict(self._counters)
             started, stopped = self._started_at, self._stopped_at
         duration = (stopped if stopped is not None else time.monotonic()) - (started or 0.0)
         duration = max(duration, 1e-9)
@@ -109,6 +132,8 @@ class ServingMetrics:
             "wait_mean_s": float(np.mean(waits)) if waits else 0.0,
         }
         out.update(latency_percentiles(latencies))
+        for name, count in sorted(counters.items()):
+            out[name] = float(count)
         for size, count in self.batch_histogram().items():
             out[f"batch_occ_{size}"] = float(count)
         return out

@@ -111,6 +111,22 @@ class AdmissionQueue:
                 self._not_full.notify_all()
             return batch
 
+    def wait_empty(self, timeout_s: Optional[float] = None) -> bool:
+        """Block until the queue is drained; True if it emptied in time.
+
+        This is a condition wait on the same condition ``take_batch``
+        notifies, so a draining ``stop()`` wakes the moment the last item
+        is taken instead of sleep-polling ``depth()``.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._not_full:
+            while self._items:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._not_full.wait(remaining)
+            return True
+
     def close(self) -> None:
         """Stop admitting; wake every blocked ``put``/``take_batch``."""
         with self._lock:

@@ -10,7 +10,14 @@ batch of one inside the same tick).
 Clients receive a :class:`ResultHandle` — a minimal ``Future``: ``done()``,
 ``result(timeout)``, and the timing fields the serving metrics are built
 from.  Handles are completed exactly once, by the scheduler tick that
-executed them.
+executed them (or by the deadline shed / worker-crash recovery paths —
+see :mod:`repro.serving.resilience`).
+
+Every request additionally carries two fault-tolerance fields that are
+*not* part of its ``batch_key``: ``deadline_s``, a relative deadline in
+seconds from submission after which the service sheds the request instead
+of executing it, and ``tag``, a free-form label the deterministic fault
+harness (:mod:`repro.serving.faults`) targets injected failures by.
 """
 
 from __future__ import annotations
@@ -37,6 +44,11 @@ class RequestFailed(RuntimeError):
     """Raised by :meth:`ResultHandle.result` when the request errored server-side."""
 
 
+def _validate_deadline(request) -> None:
+    if request.deadline_s is not None and request.deadline_s <= 0:
+        raise ValueError("deadline_s must be positive (or None for no deadline)")
+
+
 @dataclass(frozen=True)
 class NextHopRequest:
     """Autoregressively extend a trajectory by ``steps`` segments."""
@@ -44,12 +56,20 @@ class NextHopRequest:
     trajectory: Trajectory
     steps: int = 1
     constrain_to_network: bool = True
+    #: relative deadline (seconds from submission); expired requests are shed.
+    deadline_s: Optional[float] = None
+    #: fault-injection target label (no effect outside a FaultPlan).
+    tag: Optional[str] = field(default=None, compare=False)
 
     kind = "next_hop"
 
+    def __post_init__(self) -> None:
+        _validate_deadline(self)
+
     def batch_key(self) -> Tuple:
         # Rollouts with the same step count and decoding constraint fold
-        # into one padded KV-cached batch.
+        # into one padded KV-cached batch (deadline/tag do not affect the
+        # model call, so they never split a batch).
         return (self.kind, self.steps, self.constrain_to_network)
 
 
@@ -60,11 +80,14 @@ class RecoveryRequest:
     trajectory: Trajectory
     kept_indices: Tuple[int, ...]
     constrain_to_network: bool = True
+    deadline_s: Optional[float] = None
+    tag: Optional[str] = field(default=None, compare=False)
 
     kind = "recovery"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "kept_indices", tuple(int(i) for i in self.kept_indices))
+        _validate_deadline(self)
 
     def batch_key(self) -> Tuple:
         return (self.kind, id(self))  # not batchable yet: one request per call
@@ -78,8 +101,13 @@ class TrafficPredictionRequest:
     start_slice: int
     history: int
     horizon: int = 1
+    deadline_s: Optional[float] = None
+    tag: Optional[str] = field(default=None, compare=False)
 
     kind = "traffic_prediction"
+
+    def __post_init__(self) -> None:
+        _validate_deadline(self)
 
     def batch_key(self) -> Tuple:
         return (self.kind, id(self))
@@ -93,11 +121,14 @@ class TrafficImputationRequest:
     start_slice: int
     num_slices: int
     masked_positions: Tuple[int, ...]
+    deadline_s: Optional[float] = None
+    tag: Optional[str] = field(default=None, compare=False)
 
     kind = "traffic_imputation"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "masked_positions", tuple(int(i) for i in self.masked_positions))
+        _validate_deadline(self)
 
     def batch_key(self) -> Tuple:
         return (self.kind, id(self))
@@ -150,15 +181,39 @@ class ResultHandle:
         self.completed_at = time.monotonic()
         self._done.set()
 
+    # -- deadlines ------------------------------------------------------
+    @property
+    def deadline_at(self) -> Optional[float]:
+        """Absolute ``time.monotonic`` deadline, from the request's ``deadline_s``."""
+        deadline_s = getattr(self.request, "deadline_s", None)
+        if deadline_s is None:
+            return None
+        return self.submitted_at + deadline_s
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the deadline passed (always False for deadline-less requests)."""
+        deadline_at = self.deadline_at
+        if deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= deadline_at
+
     # -- client side ----------------------------------------------------
     def done(self) -> bool:
         return self._done.is_set()
 
     def result(self, timeout: Optional[float] = None) -> object:
-        """Block until the request completes and return (or raise) its outcome."""
+        """Block until the request completes and return (or raise) its outcome.
+
+        Server-side errors surface as :class:`RequestFailed` with the
+        original exception preserved as ``__cause__``; errors that already
+        are ``RequestFailed`` subclasses (e.g. ``DeadlineExceeded``) are
+        raised as-is so clients can catch the specific class.
+        """
         if not self._done.wait(timeout):
             raise TimeoutError(f"request {self.request!r} did not complete within {timeout}s")
         if self._error is not None:
+            if isinstance(self._error, RequestFailed):
+                raise self._error
             raise RequestFailed(str(self._error)) from self._error
         return self._result
 

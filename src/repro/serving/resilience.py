@@ -1,0 +1,138 @@
+"""Resilience primitives of the serving layer: typed failures and retries.
+
+The serving stack distinguishes failure *classes* because clients and
+recovery mechanisms react differently to each:
+
+``DeadlineExceeded``
+    the request's deadline passed before a scheduler tick executed it —
+    the worker sheds it at dequeue time instead of burning model time on
+    an answer nobody is waiting for;
+``TransientError``
+    a failure worth retrying (momentary resource pressure, an injected
+    transient fault); :func:`call_with_retries` re-attempts these under a
+    :class:`RetryPolicy`, every other exception propagates immediately;
+``CircuitOpen``
+    the service-level circuit breaker rejected the request at submission
+    because too few healthy model replicas remain;
+``ServiceStopped``
+    ``submit()`` after ``stop()`` — a lifecycle error, not an overload
+    signal (it subclasses :class:`~repro.serving.queue.QueueClosed` so
+    callers written against the queue-internal exception keep working).
+
+:class:`RetryPolicy` is deterministic: the backoff delays — exponential
+with seeded jitter — are a pure function of the policy's fields, so a
+chaos test can assert the exact retry schedule and two runs with the same
+seed behave identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TypeVar
+
+import numpy as np
+
+from repro.serving.queue import QueueClosed
+from repro.serving.requests import RequestFailed
+
+__all__ = [
+    "CircuitOpen",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "ServiceStopped",
+    "TransientError",
+    "call_with_retries",
+    "is_transient",
+]
+
+T = TypeVar("T")
+
+
+class DeadlineExceeded(RequestFailed):
+    """The request's deadline passed before the service executed it."""
+
+
+class CircuitOpen(RuntimeError):
+    """Submission rejected: too few healthy replicas to serve reliably."""
+
+
+class ServiceStopped(QueueClosed):
+    """``submit()`` was called on a service that has been stopped."""
+
+
+class TransientError(RuntimeError):
+    """A failure that is expected to succeed on retry."""
+
+    transient = True
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether ``error`` is retryable (``.transient`` truthy by convention)."""
+    return bool(getattr(error, "transient", False))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``delays()`` returns the full backoff schedule up front — delay ``i``
+    is slept after failed attempt ``i`` — computed from a seeded generator
+    so the schedule is reproducible and testable.  Only errors classified
+    transient by :func:`is_transient` are retried.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    #: each delay is scaled by ``1 + jitter_frac * u`` with seeded ``u ∈ [0, 1)``.
+    jitter_frac: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.jitter_frac < 0:
+            raise ValueError("jitter_frac must be >= 0")
+
+    def delays(self) -> List[float]:
+        """The deterministic backoff schedule (``max_attempts - 1`` delays)."""
+        rng = np.random.default_rng(self.seed)
+        return [
+            self.backoff_base_s
+            * self.backoff_multiplier**attempt
+            * (1.0 + self.jitter_frac * float(rng.random()))
+            for attempt in range(self.max_attempts - 1)
+        ]
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy],
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn``, retrying transient failures under ``policy``.
+
+    Non-transient errors, and transient errors on the final attempt,
+    propagate unchanged.  ``on_retry(attempt_index, error)`` fires before
+    each backoff sleep — the scheduler uses it to count retries.  With
+    ``policy=None`` this is a plain call (the no-fault fast path).
+    """
+    if policy is None:
+        return fn()
+    delays = policy.delays()
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except Exception as error:  # noqa: BLE001 - classified below
+            if not is_transient(error) or attempt >= policy.max_attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep(delays[attempt])
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -15,35 +15,60 @@ Because ``rollout_next_hops_batch`` is pinned bit-for-bit against the
 serial rollout, a tick's results equal serial per-request execution exactly
 — the property ``tests/test_serving_scheduler.py`` asserts end-to-end over
 mixed traces.
+
+Two fault-tolerance mechanisms live in the tick (both inert by default):
+
+* **retries** — with a :class:`~repro.serving.resilience.RetryPolicy`,
+  model calls that raise a *transient* error are re-attempted under the
+  policy's deterministic backoff schedule before the failure is published;
+* **poison-batch isolation** — when a folded batch call raises, the tick
+  re-runs the group's members serially through ``execute_request``, so
+  only the genuinely poisonous request(s) fail and every survivor still
+  gets the bit-identical serial answer (``tests/test_serving_faults.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serving.execution import execute_request
 from repro.serving.requests import NextHopRequest, ResultHandle
+from repro.serving.resilience import RetryPolicy, call_with_retries
 
 __all__ = ["run_tick", "TickResult"]
 
 
 @dataclass
 class TickResult:
-    """What one scheduler tick did (feeds the batch-occupancy metrics)."""
+    """What one scheduler tick did (feeds the occupancy/failure metrics)."""
 
     batch_size: int
     #: number of underlying model calls the batch was folded into.
     model_calls: int
     #: handles answered by the folded next-hop batch call(s).
     batched_requests: int
+    #: handles that ended in failure (after retries / isolation).
+    failed: int = 0
+    #: retry attempts consumed by transient failures.
+    retried: int = 0
+    #: handles rescued by serial re-execution after a poisoned batch call.
+    isolated: int = 0
+    #: model-call invocations that raised (the replica-health signal).
+    call_errors: int = 0
 
 
-def run_tick(model, handles: Sequence[ResultHandle]) -> TickResult:
+def run_tick(
+    model,
+    handles: Sequence[ResultHandle],
+    retry_policy: Optional[RetryPolicy] = None,
+    faults=None,
+) -> TickResult:
     """Execute one drained batch on a leased model replica.
 
     Every handle is completed (or failed) exactly once before this returns;
-    errors are per-group, so one failing request cannot wedge the tick.
+    errors are per-request — a poisoned batch member is isolated by serial
+    re-execution, so it cannot fail its batch-mates, let alone the tick.
     """
     batch_size = len(handles)
     for handle in handles:
@@ -53,28 +78,67 @@ def run_tick(model, handles: Sequence[ResultHandle]) -> TickResult:
     for handle in handles:
         groups.setdefault(handle.request.batch_key(), []).append(handle)
 
-    model_calls = 0
-    batched_requests = 0
-    for key, group in groups.items():
-        is_next_hop_fold = isinstance(group[0].request, NextHopRequest) and len(group) > 1
+    counters = {"model_calls": 0, "batched": 0, "failed": 0, "retried": 0, "isolated": 0, "call_errors": 0}
+
+    def on_retry(attempt: int, error: BaseException) -> None:
+        counters["retried"] += 1
+        counters["call_errors"] += 1
+
+    def run_serially(handle: ResultHandle) -> None:
+        def call():
+            if faults is not None:
+                faults.on_model(model)
+            return execute_request(model, handle.request, faults=faults)
+
         try:
-            if is_next_hop_fold:
-                first = group[0].request
-                rollouts = model.rollout_next_hops_batch(
+            result = call_with_retries(call, retry_policy, on_retry=on_retry)
+        except Exception as error:  # noqa: BLE001 - published to this client only
+            counters["failed"] += 1
+            counters["call_errors"] += 1
+            handle.fail(error)
+        else:
+            counters["model_calls"] += 1
+            handle.complete(result)
+
+    for group in groups.values():
+        if isinstance(group[0].request, NextHopRequest) and len(group) > 1:
+            first = group[0].request
+
+            def batch_call(group=group, first=first):
+                if faults is not None:
+                    faults.on_model(model)
+                    faults.on_batch([handle.request for handle in group])
+                return model.rollout_next_hops_batch(
                     [handle.request.trajectory for handle in group],
                     steps=first.steps,
                     constrain_to_network=first.constrain_to_network,
                 )
-                model_calls += 1
-                batched_requests += len(group)
-                for handle, rollout in zip(group, rollouts):
-                    handle.complete(rollout)
-            else:
+
+            try:
+                rollouts = call_with_retries(batch_call, retry_policy, on_retry=on_retry)
+            except Exception:  # noqa: BLE001 - isolate: only the poison fails
+                counters["call_errors"] += 1
+                failed_before = counters["failed"]
                 for handle in group:
-                    handle.complete(execute_request(model, handle.request))
-                    model_calls += 1
-        except Exception as error:  # noqa: BLE001 - published to the client
+                    run_serially(handle)
+                counters["isolated"] += len(group) - (counters["failed"] - failed_before)
+            else:
+                counters["model_calls"] += 1
+                counters["batched"] += len(group)
+                for handle, rollout in zip(group, rollouts):
+                    if faults is not None:
+                        rollout = faults.transform_result(handle.request, rollout)
+                    handle.complete(rollout)
+        else:
             for handle in group:
-                if not handle.done():
-                    handle.fail(error)
-    return TickResult(batch_size=batch_size, model_calls=model_calls, batched_requests=batched_requests)
+                run_serially(handle)
+
+    return TickResult(
+        batch_size=batch_size,
+        model_calls=counters["model_calls"],
+        batched_requests=counters["batched"],
+        failed=counters["failed"],
+        retried=counters["retried"],
+        isolated=counters["isolated"],
+        call_errors=counters["call_errors"],
+    )

@@ -13,14 +13,30 @@
 (blocking or rejecting at capacity, per :class:`ServingConfig`) and returns
 a :class:`ResultHandle` immediately — the client decides when to wait.
 One worker thread per pool replica runs the scheduler loop: block until at
-least one request is queued, drain up to ``max_batch_size``, lease a
-replica, :func:`~repro.serving.scheduler.run_tick` it, publish results.
-With several replicas, ticks overlap (NumPy releases the GIL inside BLAS);
-with one, the loop degenerates to classic dynamic batching.
+least one request is queued, drain up to ``max_batch_size``, shed handles
+whose deadline already passed, lease a replica,
+:func:`~repro.serving.scheduler.run_tick` it, publish results.  With
+several replicas, ticks overlap (NumPy releases the GIL inside BLAS); with
+one, the loop degenerates to classic dynamic batching.
+
+Fault tolerance (see ``docs/resilience.md``):
+
+* a **worker supervisor** — a worker loop that raises outside the tick's
+  own error handling (e.g. inside ``pool.lease()``) fails its in-flight
+  handles, is logged, and is respawned up to ``max_worker_restarts``
+  times, so one crash costs one batch instead of one replica's capacity
+  forever;
+* **replica health** — each tick's outcome is reported to the pool, which
+  quarantines and reloads replicas that fail repeatedly;
+* a **circuit breaker** — when fewer than ``min_healthy_replicas``
+  replicas remain in circulation, ``submit()`` raises
+  :class:`~repro.serving.resilience.CircuitOpen` instead of queueing work
+  the service cannot execute.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -28,11 +44,16 @@ from typing import List, Optional
 
 from repro.serving.metrics import ServingMetrics
 from repro.serving.pool import ModelPool
-from repro.serving.queue import AdmissionQueue
+from repro.serving.queue import AdmissionQueue, QueueClosed
 from repro.serving.requests import ResultHandle, ServingRequest
+from repro.serving.resilience import CircuitOpen, DeadlineExceeded, RetryPolicy, ServiceStopped
 from repro.serving.scheduler import run_tick
 
 __all__ = ["ServingConfig", "ServingService"]
+
+logger = logging.getLogger("repro.serving")
+
+_ADMISSION_POLICIES = ("block", "reject")
 
 
 @dataclass(frozen=True)
@@ -49,18 +70,51 @@ class ServingConfig:
     admission_timeout_s: Optional[float] = 5.0
     #: how long an idle worker waits for the first request of a tick.
     idle_wait_s: float = 0.02
+    #: how long a worker may wait for a free replica before its tick fails.
+    lease_timeout_s: float = 30.0
+    #: retry policy for transient model-call failures (None = no retries).
+    retry: Optional[RetryPolicy] = None
+    #: crashed scheduler workers respawned at most this many times.
+    max_worker_restarts: int = 2
+    #: circuit breaker: reject submissions when fewer replicas are healthy.
+    min_healthy_replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.admission_policy not in _ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.admission_policy!r}; "
+                f"choose from {_ADMISSION_POLICIES}"
+            )
+        if self.admission_timeout_s is not None and self.admission_timeout_s <= 0:
+            raise ValueError("admission_timeout_s must be positive (or None to wait forever)")
+        if self.idle_wait_s <= 0:
+            raise ValueError("idle_wait_s must be positive")
+        if self.lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+        if self.min_healthy_replicas < 0:
+            raise ValueError("min_healthy_replicas must be >= 0 (0 disables the breaker)")
 
 
 class ServingService:
     """Continuous-batching inference service over a warm model pool."""
 
-    def __init__(self, pool: ModelPool, config: Optional[ServingConfig] = None) -> None:
+    def __init__(
+        self,
+        pool: ModelPool,
+        config: Optional[ServingConfig] = None,
+        faults=None,
+    ) -> None:
         self.pool = pool
         self.config = config or ServingConfig()
+        self.faults = faults
+        if faults is not None and pool.faults is None:
+            pool.faults = faults
         self.queue: AdmissionQueue = AdmissionQueue(
             capacity=self.config.max_queue_depth,
             policy=self.config.admission_policy,
@@ -70,6 +124,8 @@ class ServingService:
         self._stopping = threading.Event()
         self._draining = threading.Event()
         self._started = False
+        self._supervisor_lock = threading.Lock()
+        self._restarts = 0
 
     # ------------------------------------------------------------------
     @property
@@ -83,19 +139,36 @@ class ServingService:
         self._started = True
         self.metrics.mark_started()
         for index in range(self.pool.size):
-            worker = threading.Thread(
-                target=self._worker_loop,
-                name=f"repro-serving-{index}",
-                daemon=True,
-            )
-            worker.start()
-            self._workers.append(worker)
+            self._spawn_worker(index)
         return self
 
     def submit(self, request: ServingRequest) -> ResultHandle:
-        """Admit one request; returns its handle without waiting for the result."""
+        """Admit one request; returns its handle without waiting for the result.
+
+        Raises :class:`ServiceStopped` after ``stop()``,
+        :class:`CircuitOpen` when too few healthy replicas remain, and the
+        queue's own ``QueueFull``/``AdmissionTimeout`` at capacity.
+        """
+        if self._stopping.is_set():
+            raise ServiceStopped("service has been stopped; submit() is no longer accepted")
+        if (
+            self.config.min_healthy_replicas > 0
+            and self.pool.healthy() < self.config.min_healthy_replicas
+        ):
+            self.metrics.record_event("rejected")
+            raise CircuitOpen(
+                f"only {self.pool.healthy()} healthy replica(s) remain "
+                f"(minimum {self.config.min_healthy_replicas}); submission rejected"
+            )
         handle = ResultHandle(request=request)
-        self.queue.put(handle, timeout_s=self.config.admission_timeout_s)
+        try:
+            self.queue.put(handle, timeout_s=self.config.admission_timeout_s)
+        except ServiceStopped:
+            raise
+        except QueueClosed as error:
+            raise ServiceStopped(
+                "service has been stopped; submit() is no longer accepted"
+            ) from error
         return handle
 
     def stop(self, drain: bool = True, timeout_s: float = 30.0) -> None:
@@ -104,12 +177,13 @@ class ServingService:
             return
         if drain:
             self._draining.set()
-            deadline = time.monotonic() + timeout_s
-            while self.queue.depth() > 0 and time.monotonic() < deadline:
-                time.sleep(0.005)
+            if not self.queue.wait_empty(timeout_s=timeout_s):
+                logger.warning("stop(drain=True) timed out with %d request(s) still queued", self.queue.depth())
         self._stopping.set()
         self.queue.close()
-        for worker in self._workers:
+        with self._supervisor_lock:
+            workers = list(self._workers)
+        for worker in workers:
             worker.join(timeout=timeout_s)
         self.metrics.mark_stopped()
 
@@ -120,6 +194,56 @@ class ServingService:
         self.stop()
 
     # ------------------------------------------------------------------
+    def _spawn_worker(self, index: int, generation: int = 0) -> None:
+        name = f"repro-serving-{index}" + (f"-r{generation}" if generation else "")
+        worker = threading.Thread(
+            target=self._worker_main, args=(index,), name=name, daemon=True
+        )
+        self._workers.append(worker)
+        worker.start()
+
+    def _worker_main(self, index: int) -> None:
+        """Supervised entry point: a crashed loop is logged and respawned."""
+        try:
+            self._worker_loop()
+        except Exception:  # noqa: BLE001 - the supervisor decides what happens next
+            logger.exception("serving worker %d crashed", index)
+            self._respawn(index)
+
+    def _respawn(self, index: int) -> None:
+        with self._supervisor_lock:
+            if self._stopping.is_set():
+                return
+            if self._restarts >= self.config.max_worker_restarts:
+                logger.error(
+                    "worker restart budget (%d) exhausted; worker %d not respawned",
+                    self.config.max_worker_restarts,
+                    index,
+                )
+                return
+            self._restarts += 1
+            generation = self._restarts
+            self.metrics.record_event("respawned")
+            self._spawn_worker(index, generation=generation)
+        logger.warning("serving worker %d respawned (restart %d)", index, generation)
+
+    def _shed_expired(self, batch: List[ResultHandle]) -> List[ResultHandle]:
+        """Fail expired handles at dequeue time; return the live remainder."""
+        now = time.monotonic()
+        live: List[ResultHandle] = []
+        for handle in batch:
+            if handle.expired(now):
+                handle.fail(
+                    DeadlineExceeded(
+                        f"deadline of {getattr(handle.request, 'deadline_s', None)}s "
+                        "passed before the request reached a scheduler tick"
+                    )
+                )
+                self.metrics.record_event("shed")
+            else:
+                live.append(handle)
+        return live
+
     def _worker_loop(self) -> None:
         while True:
             batch = self.queue.take_batch(
@@ -129,11 +253,40 @@ class ServingService:
                 if self._stopping.is_set():
                     return
                 continue
+            batch = self._shed_expired(batch)
+            if not batch:
+                continue
             depth_after = self.queue.depth()
             started = time.perf_counter()
-            with self.pool.lease() as model:
-                run_tick(model, batch)
+            try:
+                if self.faults is not None:
+                    self.faults.on_tick_start(len(batch))
+                with self.pool.lease(timeout_s=self.config.lease_timeout_s) as model:
+                    tick = run_tick(
+                        model, batch, retry_policy=self.config.retry, faults=self.faults
+                    )
+                    # Report the lease outcome while still holding the
+                    # replica, so quarantine decisions see a settled state.
+                    if tick.call_errors:
+                        outcome = self.pool.report_failure(model)
+                        if outcome is not None:
+                            self.metrics.record_event("quarantined")
+                    else:
+                        self.pool.report_success(model)
+            except Exception as error:  # noqa: BLE001 - crash outside run_tick
+                for handle in batch:
+                    if not handle.done():
+                        handle.fail(error)
+                self.metrics.record_event("failed", len(batch))
+                raise
             duration = time.perf_counter() - started
             self.metrics.record_tick(len(batch), depth_after, duration)
+            for name, count in (
+                ("failed", tick.failed),
+                ("retried", tick.retried),
+                ("isolated", tick.isolated),
+            ):
+                if count:
+                    self.metrics.record_event(name, count)
             for handle in batch:
                 self.metrics.record_completion(handle)

@@ -300,6 +300,29 @@ class TestBackwardSemantics:
             out = (t * 2).sum()
         assert not out.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        # A serving worker's no_grad() must not bleed into other threads:
+        # while this thread holds grad off, a sibling thread still records
+        # gradients, and its exit does not re-enable grad here.
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        sibling_saw = {}
+
+        def sibling():
+            sibling_saw["enabled"] = is_grad_enabled()
+            with no_grad():
+                pass
+            sibling_saw["after_exit"] = is_grad_enabled()
+
+        with no_grad():
+            worker = threading.Thread(target=sibling)
+            worker.start()
+            worker.join()
+            assert not is_grad_enabled()  # sibling's exit did not flip us back
+        assert sibling_saw == {"enabled": True, "after_exit": True}
+
     def test_zero_grad_resets(self):
         t = Tensor(np.ones(3), requires_grad=True)
         (t * 2).sum().backward()
