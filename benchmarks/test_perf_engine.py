@@ -1,6 +1,6 @@
 """Benchmark: engine micro-benchmarks (fused kernels, KV-cached decode,
-float32 compute policy, batched rollout, sharded evaluation, continuous-
-batching serving).
+float32 compute policy, batched rollout, batched single-pass evaluation,
+sharded evaluation, continuous-batching serving).
 
 Unlike the table/figure benchmarks this one trains nothing — it times the
 engine fast paths against the formulations they replaced and writes
@@ -28,9 +28,15 @@ DECODE_TARGET = 5.0
 #: float32 step time must be <= 0.8x the float64 step time.
 DTYPE_TARGET = 1.25
 BATCHED_ROLLOUT_TARGET = 2.0
+#: The batched single-pass evaluation paths (recovery, traffic
+#: prediction/imputation) must not be slower than the per-case loops they
+#: replaced; the win comes from assembling one right-padded prompt batch
+#: instead of one prompt at a time.
+BATCHED_RECOVERY_TARGET = 1.0
+BATCHED_TRAFFIC_TARGET = 1.0
 #: Continuous-batched serving must not be slower than serial per-request
 #: execution of the same trace (typically well above 1 — the scheduler folds
-#: next-hop requests into one padded KV-cached batch).
+#: every group of batch-compatible requests into one ``*_batch`` model call).
 SERVING_TARGET = 1.0
 #: Sharding needs cores (and cheap fork-based workers) to win; the gate only
 #: applies on multi-core machines where the fork start method exists.
@@ -43,6 +49,8 @@ EXPECTED_SECTIONS = {
     "decode",
     "dtype_policy",
     "batched_rollout",
+    "batched_recovery",
+    "batched_traffic",
     "sharded_eval",
     "serving",
 }
@@ -54,6 +62,8 @@ def _gated_speedups(report) -> dict:
         "decode": DECODE_TARGET,
         "dtype_policy": DTYPE_TARGET,
         "batched_rollout": BATCHED_ROLLOUT_TARGET,
+        "batched_recovery": BATCHED_RECOVERY_TARGET,
+        "batched_traffic": BATCHED_TRAFFIC_TARGET,
         "serving": SERVING_TARGET,
     }
     if (os.cpu_count() or 1) >= SHARDED_EVAL_MIN_CPUS and "fork" in multiprocessing.get_all_start_methods():
@@ -77,6 +87,10 @@ def test_perf_engine_report():
     for name, target in gates.items():
         assert report.results[name]["speedup"] >= target, (name, report.results[name])
     assert report.results["tokenizer"]["sequences_per_s"] > 0.0
+    # The batched single-pass evaluation paths must return exactly what the
+    # per-case loops return.
+    assert report.results["batched_recovery"]["identical"] == 1.0, report.results["batched_recovery"]
+    assert report.results["batched_traffic"]["identical"] == 1.0, report.results["batched_traffic"]
     # Sharded evaluation must merge to bit-identical results on any machine,
     # even where the parallel speedup gate does not apply.
     assert report.results["sharded_eval"]["identical"] == 1.0, report.results["sharded_eval"]
@@ -85,6 +99,10 @@ def test_perf_engine_report():
     serving = report.results["serving"]
     assert serving["identical"] == 1.0, serving
     assert serving["latency_p50_s"] <= serving["latency_p95_s"] <= serving["latency_p99_s"], serving
+    # The Poisson run must actually fold requests into batch calls — the
+    # mixed trace includes recovery and traffic requests, so the fold metric
+    # proves every request kind batches, not just next-hop rollouts.
+    assert serving["folded"] > 0.0, serving
     # With no fault plan installed the resilience layer must be invisible:
     # a clean benchmark run sheds, retries, isolates, fails, respawns and
     # quarantines exactly nothing, and the load generator observes no

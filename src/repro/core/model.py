@@ -35,7 +35,7 @@ from repro.nn import functional as F
 from repro.nn import losses
 from repro.nn.layers import Dropout
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, fused_enabled, no_grad
+from repro.nn.tensor import Tensor, fused_enabled, is_grad_enabled, no_grad
 from repro.nn import init
 from repro.roadnet.network import RoadNetwork
 from repro.tasks.decoding import (
@@ -43,6 +43,7 @@ from repro.tasks.decoding import (
     constrained_recovery_choice,
     gap_candidates,
     greedy_next_hop_batch,
+    open_gap_candidates,
 )
 
 
@@ -204,6 +205,118 @@ class BIGCity(Module):
             rows.append(token)
         return rows, task_positions, (data_start, data_stop)
 
+    def _check_max_position(self, max_length: int) -> None:
+        if max_length > self.config.max_position:
+            raise ValueError(
+                f"prompt length {max_length} exceeds the backbone's max_position "
+                f"{self.config.max_position}; shorten the input or enlarge the config"
+            )
+
+    def _stack_prompt_batch(
+        self,
+        prompts: Sequence[Prompt],
+        st_token_list: Sequence[Tensor],
+        static_cache: Optional[Tensor],
+    ) -> Tuple[Tensor, np.ndarray, List[Tuple[List[int], Tuple[int, int]]]]:
+        """Pad and stack per-prompt row lists into one batch (autograd path).
+
+        Each prompt's rows stay individual :class:`Tensor` nodes so gradients
+        flow back into the tokenizer, the text embeddings and the task-token
+        parameters; inference uses :meth:`_assemble_prompt_batch` instead,
+        which writes the identical values into one pre-allocated array.
+        """
+        assembled: List[Tuple[List[Tensor], List[int], Tuple[int, int]]] = []
+        for prompt, st_tokens in zip(prompts, st_token_list):
+            assembled.append(self._assemble_prompt(prompt, st_tokens, static_cache=static_cache))
+
+        max_length = max(len(rows) for rows, _, _ in assembled)
+        self._check_max_position(max_length)
+        zero_row = Tensor(np.zeros(self.config.d_model))
+        padded_rows: List[Tensor] = []
+        padding_mask = np.zeros((len(prompts), max_length), dtype=bool)
+        for batch_index, (rows, _, _) in enumerate(assembled):
+            padding = [zero_row] * (max_length - len(rows))
+            padded_rows.append(Tensor.stack(rows + padding, axis=0))
+            padding_mask[batch_index, len(rows):] = True
+        batch_embeddings = Tensor.stack(padded_rows, axis=0)
+        layouts = [(task_positions, data_span) for _, task_positions, data_span in assembled]
+        return batch_embeddings, padding_mask, layouts
+
+    def _assemble_prompt_batch(
+        self,
+        prompts: Sequence[Prompt],
+        st_token_list: Sequence[Tensor],
+        static_cache: Optional[Tensor],
+    ) -> Tuple[Tensor, np.ndarray, List[Tuple[List[int], Tuple[int, int]]]]:
+        """Assemble ``N`` prompts straight into one pre-allocated padded buffer.
+
+        Inference twin of :meth:`_stack_prompt_batch`: every embedding row is
+        written in place into a single ``(N, L_max, d_model)`` array instead
+        of building one Python list of row tensors per prompt plus two
+        ``Tensor.stack`` allocations each.  Text instructions are embedded
+        once per distinct string (evaluation batches share one template).
+        The values written are exactly the arrays the stacking path stacks,
+        so both paths feed the backbone bit-identical batches.
+        """
+        text_cache: Dict[str, np.ndarray] = {}
+        text_list: List[Optional[np.ndarray]] = []
+        lengths: List[int] = []
+        for prompt, st_tokens in zip(prompts, st_token_list):
+            text: Optional[np.ndarray] = None
+            if self.config.use_prompts:
+                text = text_cache.get(prompt.instruction)
+                if text is None:
+                    text_ids = self.text_tokenizer.encode(prompt.instruction)
+                    text = self.backbone.embed_text(text_ids).data
+                    text_cache[prompt.instruction] = text
+            text_list.append(text)
+            text_length = 0 if text is None else int(text.shape[0])
+            lengths.append(text_length + int(st_tokens.shape[0]) + len(prompt.placeholders))
+
+        max_length = max(lengths)
+        self._check_max_position(max_length)
+        d_model = self.config.d_model
+        # The stacking path pads with policy-dtype zeros; mirror its dtype
+        # promotion so mixed-precision inputs land in the same array dtype.
+        dtype = np.result_type(
+            Tensor.zeros(0).dtype,
+            self.clas_token.data.dtype,
+            *[st_tokens.data.dtype for st_tokens in st_token_list],
+        )
+        buffer = np.zeros((len(prompts), max_length, d_model), dtype=dtype)
+        padding_mask = np.zeros((len(prompts), max_length), dtype=bool)
+        layouts: List[Tuple[List[int], Tuple[int, int]]] = []
+        for index, (prompt, st_tokens, text) in enumerate(zip(prompts, st_token_list, text_list)):
+            cursor = 0
+            if text is not None:
+                buffer[index, : text.shape[0]] = text
+                cursor = int(text.shape[0])
+            data_start = cursor
+            st_data = st_tokens.data
+            data_stop = cursor + int(st_data.shape[0])
+            buffer[index, data_start:data_stop] = st_data
+            for position in prompt.mask_positions:
+                buffer[index, data_start + position] = self.mask_token.data
+            cursor = data_stop
+            task_positions = list(range(cursor, cursor + len(prompt.placeholders)))
+            anchors = prompt.anchors if prompt.anchors else (None,) * len(prompt.placeholders)
+            for kind, anchor in zip(prompt.placeholders, anchors):
+                token = (self.clas_token if kind == CLAS else self.reg_token).data
+                if anchor is not None:
+                    if anchor.kind == "data":
+                        token = token + st_data[anchor.position]
+                    else:
+                        token = token + self.tokenizer.encode_partial(
+                            segment_id=anchor.segment_id,
+                            timestamp=anchor.timestamp,
+                            static_cache=static_cache,
+                        ).data
+                buffer[index, cursor] = token
+                cursor += 1
+            padding_mask[index, cursor:] = True
+            layouts.append((task_positions, (data_start, data_stop)))
+        return Tensor(buffer), padding_mask, layouts
+
     def forward_prompts(self, prompts: Sequence[Prompt], traffic_override: Optional[np.ndarray] = None) -> List[PromptOutput]:
         """Run a batch of prompts through tokenizer, backbone and gather ``Z``."""
         if not prompts:
@@ -219,32 +332,22 @@ class BIGCity(Module):
         )
         static_cache = self.tokenizer.static_representations() if needs_static else None
 
-        assembled: List[Tuple[List[Tensor], List[int], Tuple[int, int]]] = []
-        for prompt, st_tokens in zip(prompts, st_token_list):
-            assembled.append(self._assemble_prompt(prompt, st_tokens, static_cache=static_cache))
-
-        max_length = max(len(rows) for rows, _, _ in assembled)
-        if max_length > self.config.max_position:
-            raise ValueError(
-                f"prompt length {max_length} exceeds the backbone's max_position "
-                f"{self.config.max_position}; shorten the input or enlarge the config"
+        if is_grad_enabled():
+            batch_embeddings, padding_mask, layouts = self._stack_prompt_batch(
+                prompts, st_token_list, static_cache
             )
-        d_model = self.config.d_model
-        zero_row = Tensor(np.zeros(d_model))
-        padded_rows: List[Tensor] = []
-        padding_mask = np.zeros((len(prompts), max_length), dtype=bool)
-        for batch_index, (rows, _, _) in enumerate(assembled):
-            padding = [zero_row] * (max_length - len(rows))
-            padded_rows.append(Tensor.stack(rows + padding, axis=0))
-            padding_mask[batch_index, len(rows):] = True
-        batch_embeddings = Tensor.stack(padded_rows, axis=0)
+        else:
+            batch_embeddings, padding_mask, layouts = self._assemble_prompt_batch(
+                prompts, st_token_list, static_cache
+            )
 
         hidden = self.backbone(batch_embeddings, padding_mask=padding_mask)
 
+        d_model = self.config.d_model
         if fused_enabled():
-            return self._collect_outputs_fused(prompts, assembled, hidden, d_model)
+            return self._collect_outputs_fused(prompts, layouts, hidden, d_model)
         outputs: List[PromptOutput] = []
-        for batch_index, (prompt, (rows, task_positions, data_span)) in enumerate(zip(prompts, assembled)):
+        for batch_index, (prompt, (task_positions, data_span)) in enumerate(zip(prompts, layouts)):
             if task_positions:
                 task_rows = [hidden[batch_index, position] for position in task_positions]
                 task_outputs = Tensor.stack(task_rows, axis=0)
@@ -258,7 +361,7 @@ class BIGCity(Module):
             outputs.append(PromptOutput(prompt=prompt, task_outputs=task_outputs, pooled=pooled))
         return outputs
 
-    def _collect_outputs_fused(self, prompts, assembled, hidden: Tensor, d_model: int) -> List[PromptOutput]:
+    def _collect_outputs_fused(self, prompts, layouts, hidden: Tensor, d_model: int) -> List[PromptOutput]:
         """Pull task/data rows out of the backbone output with TWO gather nodes.
 
         All prompts' task placeholders (and all data spans) are gathered in
@@ -273,7 +376,7 @@ class BIGCity(Module):
         data_batch: List[int] = []
         data_rows: List[int] = []
         data_slices: List[Tuple[int, int]] = []
-        for batch_index, (_, task_positions, data_span) in enumerate(assembled):
+        for batch_index, (task_positions, data_span) in enumerate(layouts):
             start = len(task_rows)
             task_batch.extend([batch_index] * len(task_positions))
             task_rows.extend(task_positions)
@@ -606,6 +709,9 @@ class BIGCity(Module):
     def classification_scores(self, trajectories: Sequence[Trajectory], target: str = "user") -> np.ndarray:
         """Softmax scores over the chosen family (used for AUC on the binary task)."""
         family = "user" if target == "user" else "pattern"
+        if not trajectories:
+            restriction = self.heads.label_space.family_slice(family)
+            return np.zeros((0, restriction.stop - restriction.start))
         prompts = [
             self.prompt_builder.classification(self.sequence_from_trajectory(t), target=target)
             for t in trajectories
@@ -621,6 +727,8 @@ class BIGCity(Module):
 
     def trajectory_embeddings(self, trajectories: Sequence[Trajectory], batch_size: int = 16) -> np.ndarray:
         """Dense embeddings used for most-similar trajectory search."""
+        if not trajectories:
+            return np.zeros((0, self.config.d_model))
         embeddings = []
         with no_grad():
             for start in range(0, len(trajectories), batch_size):
@@ -642,39 +750,134 @@ class BIGCity(Module):
         With ``constrain_to_network=True`` each masked position is decoded
         among the segments reachable from the surrounding observed samples
         (map-constrained decoding, as in the recovery baselines); with
-        ``False`` the raw segment logits are argmax-decoded.
+        ``False`` the raw segment logits are argmax-decoded.  A masked
+        position before the first (or after the last) kept sample is decoded
+        against its nearest kept neighbour on the open side.
+
+        This is the single-trajectory view of
+        :meth:`recover_trajectories_batch`.
         """
-        sequence = self.sequence_from_trajectory(trajectory)
-        prompt = self.prompt_builder.recovery(sequence, kept_indices)
+        return self.recover_trajectories_batch(
+            [trajectory], [kept_indices], constrain_to_network=constrain_to_network
+        )[0]
+
+    def recover_trajectories_batch(
+        self,
+        trajectories: Sequence[Trajectory],
+        kept_indices_list: Sequence[Sequence[int]],
+        constrain_to_network: bool = True,
+    ) -> List[np.ndarray]:
+        """Recover the masked positions of ``N`` trajectories in ONE padded batch.
+
+        All recovery prompts run through a single :meth:`forward_prompts`
+        call (one right-padded batch, assembled into a pre-allocated array on
+        the inference path), then each trajectory's logits are decoded with
+        the same map-constrained rule the serial method uses — so the results
+        match :meth:`recover_trajectory` trajectory-for-trajectory,
+        bit-for-bit.  Returns one ``(num_missing,)`` int64 array per input.
+        """
+        if len(trajectories) != len(kept_indices_list):
+            raise ValueError(
+                f"got {len(trajectories)} trajectories but {len(kept_indices_list)} kept-index sets"
+            )
+        if not trajectories:
+            return []
+        prompts = [
+            self.prompt_builder.recovery(self.sequence_from_trajectory(t), kept)
+            for t, kept in zip(trajectories, kept_indices_list)
+        ]
         with no_grad():
-            output = self.forward_prompts([prompt])[0]
-            logits = self.heads.classification_logits(output.task_outputs, family="segment").data
+            outputs = self.forward_prompts(prompts)
+            results: List[np.ndarray] = []
+            for trajectory, kept_indices, output in zip(trajectories, kept_indices_list, outputs):
+                logits = self.heads.classification_logits(output.task_outputs, family="segment").data
+                results.append(
+                    self._decode_recovery(trajectory, kept_indices, logits, constrain_to_network)
+                )
+        return results
+
+    def _decode_recovery(
+        self,
+        trajectory: Trajectory,
+        kept_indices: Sequence[int],
+        logits: np.ndarray,
+        constrain_to_network: bool,
+    ) -> np.ndarray:
+        """Decode one trajectory's per-mask segment logits (shared serial/batch)."""
         if not constrain_to_network:
-            return np.argmax(logits, axis=-1)
-        kept = np.asarray(sorted(int(i) for i in kept_indices), dtype=np.int64)
+            return np.argmax(logits, axis=-1).astype(np.int64)
+        kept = np.asarray(sorted(set(int(i) for i in kept_indices)), dtype=np.int64)
         missing = np.setdiff1d(np.arange(len(trajectory)), kept)
         recovered = []
         for row, position in zip(logits, missing):
-            previous_kept = int(kept[kept < position].max())
-            next_kept = int(kept[kept > position].min())
-            candidates = gap_candidates(
-                self.network,
-                previous_segment=int(trajectory.segments[previous_kept]),
-                next_segment=int(trajectory.segments[next_kept]),
-                gap_length=next_kept - previous_kept - 1,
-            )
+            earlier = kept[kept < position]
+            later = kept[kept > position]
+            if earlier.size and later.size:
+                previous_kept = int(earlier.max())
+                next_kept = int(later.min())
+                candidates = gap_candidates(
+                    self.network,
+                    previous_segment=int(trajectory.segments[previous_kept]),
+                    next_segment=int(trajectory.segments[next_kept]),
+                    gap_length=next_kept - previous_kept - 1,
+                )
+            elif later.size:
+                # Masked position precedes the first kept sample: constrain
+                # against the nearest kept neighbour on the open side.
+                anchor = int(later.min())
+                candidates = open_gap_candidates(
+                    self.network,
+                    anchor_segment=int(trajectory.segments[anchor]),
+                    gap_length=anchor - int(position),
+                    before=True,
+                )
+            else:
+                # Masked position follows the last kept sample.
+                anchor = int(earlier.max())
+                candidates = open_gap_candidates(
+                    self.network,
+                    anchor_segment=int(trajectory.segments[anchor]),
+                    gap_length=int(position) - anchor,
+                    before=False,
+                )
             recovered.append(constrained_recovery_choice(row, candidates))
         return np.asarray(recovered, dtype=np.int64)
 
     def predict_traffic_state(self, segment_id: int, start_slice: int, history: int, horizon: int) -> np.ndarray:
-        """Forecast the next ``horizon`` traffic states of one segment (denormalised)."""
-        history_sequence = self.sequence_from_traffic(segment_id, start_slice, history)
-        dummy_targets = np.zeros((horizon, self._regression_dim))
-        prompt = self.prompt_builder.traffic_prediction(history_sequence, dummy_targets, multi_step=horizon > 1)
+        """Forecast the next ``horizon`` traffic states of one segment (denormalised).
+
+        This is the single-case view of :meth:`predict_traffic_states_batch`.
+        """
+        return self.predict_traffic_states_batch([(segment_id, start_slice, history, horizon)])[0]
+
+    def predict_traffic_states_batch(
+        self, cases: Sequence[Tuple[int, int, int, int]]
+    ) -> List[np.ndarray]:
+        """Forecast ``N`` traffic-prediction cases through ONE padded batch.
+
+        ``cases`` is a sequence of ``(segment_id, start_slice, history,
+        horizon)`` tuples; histories and horizons may differ between cases —
+        prompt padding absorbs the raggedness.  Returns one denormalised
+        ``(horizon, channels)`` array per case, bit-for-bit identical to
+        calling :meth:`predict_traffic_state` case by case.
+        """
+        if not cases:
+            return []
+        prompts = []
+        for segment_id, start_slice, history, horizon in cases:
+            history_sequence = self.sequence_from_traffic(int(segment_id), int(start_slice), int(history))
+            dummy_targets = np.zeros((int(horizon), self._regression_dim))
+            prompts.append(
+                self.prompt_builder.traffic_prediction(
+                    history_sequence, dummy_targets, multi_step=int(horizon) > 1
+                )
+            )
         with no_grad():
-            output = self.forward_prompts([prompt])[0]
-            predictions = self.heads.regression_prediction(output.task_outputs).data
-        return self.denormalise_traffic(predictions)
+            outputs = self.forward_prompts(prompts)
+            return [
+                self.denormalise_traffic(self.heads.regression_prediction(output.task_outputs).data)
+                for output in outputs
+            ]
 
     def impute_traffic_state(
         self,
@@ -684,13 +887,43 @@ class BIGCity(Module):
         masked_positions: Sequence[int],
         traffic_override: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Impute masked traffic states of one segment (denormalised)."""
-        sequence = self.sequence_from_traffic(segment_id, start_slice, num_slices)
-        prompt = self.prompt_builder.traffic_imputation(sequence, masked_positions)
+        """Impute masked traffic states of one segment (denormalised).
+
+        This is the single-case view of :meth:`impute_traffic_states_batch`.
+        """
+        return self.impute_traffic_states_batch(
+            [(segment_id, start_slice, num_slices, masked_positions)],
+            traffic_override=traffic_override,
+        )[0]
+
+    def impute_traffic_states_batch(
+        self,
+        cases: Sequence[Tuple[int, int, int, Sequence[int]]],
+        traffic_override: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        """Impute ``N`` traffic-imputation cases through ONE padded batch.
+
+        ``cases`` is a sequence of ``(segment_id, start_slice, num_slices,
+        masked_positions)`` tuples sharing one optional ``traffic_override``
+        (the evaluator masks the whole tensor once for all cases).  Returns
+        one denormalised ``(len(masked), channels)`` array per case,
+        bit-for-bit identical to the serial :meth:`impute_traffic_state`.
+        """
+        if not cases:
+            return []
+        prompts = [
+            self.prompt_builder.traffic_imputation(
+                self.sequence_from_traffic(int(segment_id), int(start_slice), int(num_slices)),
+                masked_positions,
+            )
+            for segment_id, start_slice, num_slices, masked_positions in cases
+        ]
         with no_grad():
-            output = self.forward_prompts([prompt], traffic_override=traffic_override)[0]
-            predictions = self.heads.regression_prediction(output.task_outputs).data
-        return self.denormalise_traffic(predictions)
+            outputs = self.forward_prompts(prompts, traffic_override=traffic_override)
+            return [
+                self.denormalise_traffic(self.heads.regression_prediction(output.task_outputs).data)
+                for output in outputs
+            ]
 
     # ------------------------------------------------------------------
     def trainable_parameters(self):

@@ -273,10 +273,21 @@ class PromptBuilder:
         )
 
     def recovery(self, full_sequence: STUnitSequence, kept_indices: Sequence[int]) -> Prompt:
-        """Template of Fig. 3d: ``[MASK]`` inserted at dropped positions, ``[CLAS]`` per mask."""
-        kept = np.asarray(sorted(int(i) for i in kept_indices), dtype=np.int64)
-        if kept[0] != 0 or kept[-1] != len(full_sequence) - 1:
-            raise ValueError("recovery prompts assume known origin and destination")
+        """Template of Fig. 3d: ``[MASK]`` inserted at dropped positions, ``[CLAS]`` per mask.
+
+        The endpoints need not be kept: a masked position before the first
+        (or after the last) kept sample anchors its partial ST token on the
+        nearest kept neighbour on the open side, mirroring the open-sided
+        gap handling of the constrained decoder.
+        """
+        kept = np.asarray(sorted(set(int(i) for i in kept_indices)), dtype=np.int64)
+        if kept.size == 0:
+            raise ValueError("recovery prompts need at least one kept index")
+        if kept[0] < 0 or kept[-1] >= len(full_sequence):
+            raise ValueError(
+                f"kept indices must lie in [0, {len(full_sequence) - 1}], got "
+                f"[{int(kept[0])}, {int(kept[-1])}]"
+            )
         all_positions = np.arange(len(full_sequence))
         missing = np.setdiff1d(all_positions, kept)
         placeholders = tuple(CLAS for _ in missing)

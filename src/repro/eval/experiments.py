@@ -130,10 +130,13 @@ def run_table4_recovery(
         table.higher_is_better[f"acc@{int(metric_ratio * 100)}"] = True
         table.higher_is_better[f"f1@{int(metric_ratio * 100)}"] = True
 
-    def add_method(name: str, recover_fn) -> None:
+    def add_method(name: str, recover_fn, recover_batch_fn=None) -> None:
         metrics: Dict[str, float] = {}
         for ratio, evaluator in evaluators.items():
-            result = evaluator.evaluate(recover_fn)
+            if recover_batch_fn is not None and profile.batched_evaluators:
+                result = evaluator.evaluate_batch(recover_batch_fn)
+            else:
+                result = evaluator.evaluate(recover_fn)
             metrics[f"acc@{int(ratio * 100)}"] = result["accuracy"]
             metrics[f"f1@{int(ratio * 100)}"] = result["macro_f1"]
         table.add_row(name, metrics)
@@ -143,7 +146,7 @@ def run_table4_recovery(
         add_method(name, baseline.recover)
 
     model = context.bigcity(dataset_name)
-    add_method(BIGCITY_NAME, model.recover_trajectory)
+    add_method(BIGCITY_NAME, model.recover_trajectory, model.recover_trajectories_batch)
     return table
 
 
@@ -178,15 +181,21 @@ def run_table5_traffic_state(
         )
 
     model = context.bigcity(dataset_name)
-
-    def bigcity_predict(segment_id: int, start_slice: int, history_steps: int, horizon_steps: int) -> np.ndarray:
-        return model.predict_traffic_state(segment_id, start_slice, history_steps, horizon_steps)
-
-    one_step.add_row(BIGCITY_NAME, evaluator.evaluate_prediction(bigcity_predict, horizon=1))
-    multi_step.add_row(BIGCITY_NAME, evaluator.evaluate_prediction(bigcity_predict, horizon=horizon))
-    imputation.add_row(
-        BIGCITY_NAME, evaluator.evaluate_imputation(model.impute_traffic_state, max_cases=profile.imputation_cases)
-    )
+    if profile.batched_evaluators:
+        one_step.add_row(BIGCITY_NAME, evaluator.evaluate_prediction_batch(model.predict_traffic_states_batch, horizon=1))
+        multi_step.add_row(
+            BIGCITY_NAME, evaluator.evaluate_prediction_batch(model.predict_traffic_states_batch, horizon=horizon)
+        )
+        imputation.add_row(
+            BIGCITY_NAME,
+            evaluator.evaluate_imputation_batch(model.impute_traffic_states_batch, max_cases=profile.imputation_cases),
+        )
+    else:
+        one_step.add_row(BIGCITY_NAME, evaluator.evaluate_prediction(model.predict_traffic_state, horizon=1))
+        multi_step.add_row(BIGCITY_NAME, evaluator.evaluate_prediction(model.predict_traffic_state, horizon=horizon))
+        imputation.add_row(
+            BIGCITY_NAME, evaluator.evaluate_imputation(model.impute_traffic_state, max_cases=profile.imputation_cases)
+        )
     return {"one_step": one_step, "multi_step": multi_step, "imputation": imputation}
 
 
@@ -307,6 +316,10 @@ def run_table7_design_ablations(
             config_overrides=overrides,
             training_overrides=shortened,
         )
+        if profile.batched_evaluators:
+            reco_acc = reco_eval.evaluate_batch(model.recover_trajectories_batch)["accuracy"]
+        else:
+            reco_acc = reco_eval.evaluate(model.recover_trajectory)["accuracy"]
         row = {
             "tte_mae": tte_eval.evaluate(model.estimate_travel_time)["mae"],
             "clas_macro_f1": clas_eval.evaluate(
@@ -314,10 +327,15 @@ def run_table7_design_ablations(
             ).get("macro_f1", 0.0),
             "next_acc": next_eval.evaluate(lambda ts: model.predict_next_hop(ts, top_k=10))["acc"],
             "simi_hr@10": simi_eval.evaluate(embed_fn=model.trajectory_embeddings)["hr@10"],
-            "reco_acc": reco_eval.evaluate(model.recover_trajectory)["accuracy"],
+            "reco_acc": reco_acc,
         }
         if traffic_eval is not None and model.config.use_dynamic_encoder:
-            row["multi_step_mape"] = traffic_eval.evaluate_prediction(model.predict_traffic_state, horizon=6)["mape"]
+            if profile.batched_evaluators:
+                row["multi_step_mape"] = traffic_eval.evaluate_prediction_batch(
+                    model.predict_traffic_states_batch, horizon=6
+                )["mape"]
+            else:
+                row["multi_step_mape"] = traffic_eval.evaluate_prediction(model.predict_traffic_state, horizon=6)["mape"]
         table.add_row(variant, row)
     return table
 
@@ -369,7 +387,10 @@ def run_table8_cotraining_ablations(
         if TaskType.TRAVEL_TIME in tasks:
             row["tte_mae"] = tte_eval.evaluate(model.estimate_travel_time)["mae"]
         if TaskType.TRAFFIC_MULTI_STEP in tasks and traffic_eval is not None:
-            row["ms_mape"] = traffic_eval.evaluate_prediction(model.predict_traffic_state, horizon=6)["mape"]
+            if profile.batched_evaluators:
+                row["ms_mape"] = traffic_eval.evaluate_prediction_batch(model.predict_traffic_states_batch, horizon=6)["mape"]
+            else:
+                row["ms_mape"] = traffic_eval.evaluate_prediction(model.predict_traffic_state, horizon=6)["mape"]
         table.add_row(set_name, row)
     return table
 

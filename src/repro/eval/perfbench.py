@@ -3,7 +3,9 @@
 The fused-kernel fast path (:mod:`repro.nn.functional`), the KV-cached
 decoding path (:class:`repro.nn.attention.KVCache`), the float32 compute
 policy (:func:`repro.nn.tensor.compute_dtype`), the batched rollout
-(``BIGCity.rollout_next_hops_batch``), the sharded evaluation runner
+(``BIGCity.rollout_next_hops_batch``), the batched single-pass evaluation
+paths (``recover_trajectories_batch`` / ``predict_traffic_states_batch`` /
+``impute_traffic_states_batch``), the sharded evaluation runner
 (:mod:`repro.eval.parallel`) and the continuous-batching serving layer
 (:mod:`repro.serving`) are *claimed* speedups; this module measures them.
 Each benchmark times the optimised path against the formulation it
@@ -90,6 +92,9 @@ class PerfBenchConfig:
     # batched autoregressive rollout (one padded batch vs per-trajectory)
     rollout_batch: int = 8
     rollout_steps: int = 4
+    # batched single-pass evaluation (one padded prompt batch vs per-case)
+    recovery_batch: int = 8
+    traffic_cases: int = 8
     # sharded evaluation (worker processes vs inline loop)
     eval_units: int = 6
     eval_workers: int = 4
@@ -417,6 +422,127 @@ def bench_batched_rollout(config: PerfBenchConfig) -> Dict[str, float]:
     }
 
 
+def bench_batched_recovery(config: PerfBenchConfig) -> Dict[str, float]:
+    """One padded prompt batch vs per-trajectory recovery calls.
+
+    Times ``BIGCity.recover_trajectories_batch`` over ``recovery_batch``
+    masked trajectories against the per-trajectory loop it replaced.  Both
+    paths assemble identical recovery prompts and run the identical backbone
+    forward (single-pass, not autoregressive), so the ratio is purely the
+    win of assembling ONE right-padded batch instead of one prompt at a
+    time.  The random masks regularly drop trajectory endpoints, so this
+    benchmark also exercises the open-sided constrained decoding fallback.
+    ``identical`` records whether batched and serial recoveries matched
+    bit-for-bit (they must — the batch entry point is equality-pinned).
+    """
+    from repro.core.config import BIGCityConfig
+    from repro.core.model import BIGCity
+
+    network, city, trajectories, traffic = _synthetic_city(config.seed, config.recovery_batch)
+    model = BIGCity(
+        network=network,
+        time_axis=city.time_axis,
+        num_users=max((t.user_id for t in trajectories), default=0) + 1,
+        config=BIGCityConfig.tiny(seed=config.seed),
+        traffic_states=traffic,
+    )
+    model.eval()
+    rng = np.random.default_rng(config.seed)
+    usable = [t for t in trajectories if len(t) >= 4] or trajectories
+    batch = [usable[i % len(usable)] for i in range(config.recovery_batch)]
+    kept_list = []
+    for trajectory in batch:
+        keep = max(1, len(trajectory) // 3)
+        kept_list.append(np.sort(rng.choice(len(trajectory), size=keep, replace=False)))
+
+    serial = [model.recover_trajectory(t, k) for t, k in zip(batch, kept_list)]
+    batched = model.recover_trajectories_batch(batch, kept_list)
+    identical = 1.0 if all(np.array_equal(s, b) for s, b in zip(serial, batched)) else 0.0
+
+    def run_serial() -> None:
+        for trajectory, kept in zip(batch, kept_list):
+            model.recover_trajectory(trajectory, kept)
+
+    def run_batched() -> None:
+        model.recover_trajectories_batch(batch, kept_list)
+
+    timing = _paired_best(run_serial, run_batched, config.samples)
+    serial_s, batched_s = timing["baseline_s"], timing["optimised_s"]
+    return {
+        "batched_s": batched_s,
+        "serial_s": serial_s,
+        "speedup": serial_s / batched_s if batched_s > 0 else float("inf"),
+        "trajectories": float(config.recovery_batch),
+        "identical": identical,
+    }
+
+
+def bench_batched_traffic(config: PerfBenchConfig) -> Dict[str, float]:
+    """One padded prompt batch vs per-case traffic prediction + imputation.
+
+    Times ``BIGCity.predict_traffic_states_batch`` and
+    ``BIGCity.impute_traffic_states_batch`` over ``traffic_cases`` cases each
+    against the per-case loops they replaced (same single-pass prompts, same
+    backbone forward).  ``identical`` records whether every batched output
+    matched its serial twin bit-for-bit (they must).
+    """
+    from repro.core.config import BIGCityConfig
+    from repro.core.model import BIGCity
+
+    network, city, trajectories, traffic = _synthetic_city(config.seed, 8)
+    model = BIGCity(
+        network=network,
+        time_axis=city.time_axis,
+        num_users=max((t.user_id for t in trajectories), default=0) + 1,
+        config=BIGCityConfig.tiny(seed=config.seed),
+        traffic_states=traffic,
+    )
+    model.eval()
+    history, horizon = 4, 2
+    predict_start_max = max(traffic.num_slices - (history + horizon), 1)
+    predict_cases = [
+        (i % traffic.num_segments, (3 * i) % predict_start_max, history, horizon)
+        for i in range(config.traffic_cases)
+    ]
+    length = 6
+    impute_start_max = max(traffic.num_slices - length, 1)
+    impute_cases = [
+        (i % traffic.num_segments, (2 * i) % impute_start_max, length, (1, 3))
+        for i in range(config.traffic_cases)
+    ]
+
+    serial_predictions = [model.predict_traffic_state(*case) for case in predict_cases]
+    batched_predictions = model.predict_traffic_states_batch(predict_cases)
+    serial_imputations = [model.impute_traffic_state(*case) for case in impute_cases]
+    batched_imputations = model.impute_traffic_states_batch(impute_cases)
+    identical = (
+        1.0
+        if all(np.array_equal(s, b) for s, b in zip(serial_predictions, batched_predictions))
+        and all(np.array_equal(s, b) for s, b in zip(serial_imputations, batched_imputations))
+        else 0.0
+    )
+
+    def run_serial() -> None:
+        for case in predict_cases:
+            model.predict_traffic_state(*case)
+        for case in impute_cases:
+            model.impute_traffic_state(*case)
+
+    def run_batched() -> None:
+        model.predict_traffic_states_batch(predict_cases)
+        model.impute_traffic_states_batch(impute_cases)
+
+    timing = _paired_best(run_serial, run_batched, config.samples)
+    serial_s, batched_s = timing["baseline_s"], timing["optimised_s"]
+    return {
+        "batched_s": batched_s,
+        "serial_s": serial_s,
+        "speedup": serial_s / batched_s if batched_s > 0 else float("inf"),
+        "cases": float(2 * config.traffic_cases),
+        "identical": identical,
+    }
+
+
 def _sharded_eval_unit(seed: int) -> Dict[str, float]:
     """One evaluation unit of the sharded-eval benchmark (module-level so the
     worker processes can import it): build a seeded synthetic city, run a
@@ -501,7 +627,12 @@ def bench_serving(config: PerfBenchConfig) -> Dict[str, float]:
 
     ``identical`` records whether the batched results matched the serial
     results bit-for-bit in *every* run (they must — the scheduler folds
-    requests into ``rollout_next_hops_batch``, which is equality-pinned).
+    every group of batch-compatible requests, of any kind, into one
+    ``*_batch`` model call, and every batch entry point is equality-pinned).
+    ``folded`` / ``fold_ratio`` report how many of the Poisson run's
+    requests were answered by a folded batch call — the mixed-trace fold
+    metric that shows recovery/traffic requests batching, not just
+    next-hop rollouts.
     """
     from repro.core.config import BIGCityConfig
     from repro.core.model import BIGCity
@@ -584,6 +715,8 @@ def bench_serving(config: PerfBenchConfig) -> Dict[str, float]:
         "speedup": serial_s / batched_s if batched_s > 0 else float("inf"),
         "identical": identical,
         "poisson_rate_hz": config.serving_rate_hz,
+        "folded": float(poisson.get("folded", 0.0)),
+        "fold_ratio": float(poisson.get("folded", 0.0)) / max(config.serving_requests, 1),
     }
     for key in (
         "latency_p50_s",
@@ -611,8 +744,9 @@ def run_perfbench(
     """Run the engine micro-benchmarks and return the report.
 
     ``include`` selects a subset of ``{"tokenizer", "forward_backward",
-    "decode", "dtype_policy", "batched_rollout", "sharded_eval",
-    "serving"}``; the default runs all of them.
+    "decode", "dtype_policy", "batched_rollout", "batched_recovery",
+    "batched_traffic", "sharded_eval", "serving"}``; the default runs all
+    of them.
     """
     config = config or PerfBenchConfig()
     benches: Dict[str, Callable[[PerfBenchConfig], Dict[str, float]]] = {
@@ -621,6 +755,8 @@ def run_perfbench(
         "decode": bench_decode,
         "dtype_policy": bench_dtype_policy,
         "batched_rollout": bench_batched_rollout,
+        "batched_recovery": bench_batched_recovery,
+        "batched_traffic": bench_batched_traffic,
         "sharded_eval": bench_sharded_eval,
         "serving": bench_serving,
     }

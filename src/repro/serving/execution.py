@@ -6,8 +6,9 @@ Exactly one function, :func:`execute_request`, maps a
 ``BIGCity`` call that answers it.  Every consumer that needs the serial
 answer dispatches through it instead of re-implementing the rollout loop:
 
-* the continuous-batching scheduler, for request kinds that do not fold
-  into a padded batch yet;
+* the continuous-batching scheduler, for groups of one (a folded group
+  dispatches through :func:`execute_batch` instead — the batched twin that
+  maps a *group* of same-kind requests to one ``*_batch`` model call);
 * the serial-equality oracle in ``tests/test_serving_scheduler.py`` and the
   ``serving`` perfbench section, which assert that continuous batching
   returns bit-for-bit what serial execution returns;
@@ -32,7 +33,7 @@ from repro.serving.requests import (
     TrafficPredictionRequest,
 )
 
-__all__ = ["execute_request", "run_serial_trace", "results_equal"]
+__all__ = ["execute_request", "execute_batch", "run_serial_trace", "results_equal"]
 
 
 def execute_request(model, request: ServingRequest, faults=None):
@@ -84,6 +85,46 @@ def _dispatch_request(model, request: ServingRequest):
             request.masked_positions,
         )
     raise TypeError(f"unsupported serving request type {type(request)!r}")
+
+
+def execute_batch(model, requests: Sequence[ServingRequest]) -> List:
+    """Answer a group of batch-compatible requests with ONE ``*_batch`` model call.
+
+    ``requests`` must all share a ``batch_key()`` (the scheduler guarantees
+    this), so they are of one kind and agree on every argument that changes
+    decoding.  Results are returned in request order and are bit-for-bit what
+    :func:`execute_request` returns per request, because every ``*_batch``
+    model entry point is equality-pinned against its serial twin.
+    """
+    if not requests:
+        return []
+    first = requests[0]
+    if isinstance(first, NextHopRequest):
+        return list(
+            model.rollout_next_hops_batch(
+                [request.trajectory for request in requests],
+                steps=first.steps,
+                constrain_to_network=first.constrain_to_network,
+            )
+        )
+    if isinstance(first, RecoveryRequest):
+        return model.recover_trajectories_batch(
+            [request.trajectory for request in requests],
+            [request.kept_indices for request in requests],
+            constrain_to_network=first.constrain_to_network,
+        )
+    if isinstance(first, TrafficPredictionRequest):
+        return model.predict_traffic_states_batch(
+            [(request.segment_id, request.start_slice, request.history, request.horizon) for request in requests]
+        )
+    if isinstance(first, TrafficImputationRequest):
+        return model.impute_traffic_states_batch(
+            [
+                (request.segment_id, request.start_slice, request.num_slices, request.masked_positions)
+                for request in requests
+            ]
+        )
+    raise TypeError(f"unsupported serving request type {type(first)!r}")
 
 
 def run_serial_trace(model, trace: Sequence[ServingRequest]) -> List:

@@ -13,6 +13,9 @@ both consume:
 * ``batch_occupancy_mean`` and a fixed-width histogram
   ``batch_occ_{1..max_batch_size}`` — how full scheduler ticks ran;
 * ``queue_depth_max`` / ``queue_depth_mean`` — backlog pressure;
+* ``folded`` — requests answered by a folded batch call (any kind: the
+  scheduler folds every group of two or more batch-compatible requests
+  into one ``*_batch`` model call);
 * failure counters from the resilience layer — ``shed`` (deadline passed
   before execution), ``retried`` (transient-failure retry attempts),
   ``isolated`` (batch-mates rescued from a poisoned fold), ``failed``
@@ -60,7 +63,7 @@ class ServingMetrics:
         self._stopped_at: Optional[float] = None
         self._counters: Dict[str, int] = {
             key: 0
-            for key in ("shed", "retried", "isolated", "failed", "respawned", "quarantined", "rejected")
+            for key in ("folded", "shed", "retried", "isolated", "failed", "respawned", "quarantined", "rejected")
         }
 
     # ------------------------------------------------------------------

@@ -4,8 +4,10 @@ One frozen dataclass per task type the service can answer.  Each request
 carries exactly the arguments of the corresponding ``BIGCity`` inference
 helper, plus a ``batch_key`` describing which requests may be folded into
 one padded batch by the scheduler (requests with equal keys are
-*compatible*; today only next-hop rollouts batch, everything else runs as a
-batch of one inside the same tick).
+*compatible* and fold into one ``*_batch`` model call per tick; all four
+request kinds batch — ragged shapes such as trajectory lengths or horizons
+are absorbed by prompt padding, so only arguments that change the *decoding*
+appear in the key).
 
 Clients receive a :class:`ResultHandle` — a minimal ``Future``: ``done()``,
 ``result(timeout)``, and the timing fields the serving metrics are built
@@ -90,7 +92,9 @@ class RecoveryRequest:
         _validate_deadline(self)
 
     def batch_key(self) -> Tuple:
-        return (self.kind, id(self))  # not batchable yet: one request per call
+        # Recoveries fold regardless of trajectory length or mask pattern
+        # (padding absorbs both); only the decoding constraint splits.
+        return (self.kind, self.constrain_to_network)
 
 
 @dataclass(frozen=True)
@@ -110,7 +114,8 @@ class TrafficPredictionRequest:
         _validate_deadline(self)
 
     def batch_key(self) -> Tuple:
-        return (self.kind, id(self))
+        # Mixed histories/horizons fold into one padded batch.
+        return (self.kind,)
 
 
 @dataclass(frozen=True)
@@ -131,7 +136,8 @@ class TrafficImputationRequest:
         _validate_deadline(self)
 
     def batch_key(self) -> Tuple:
-        return (self.kind, id(self))
+        # Mixed lengths/mask patterns fold into one padded batch.
+        return (self.kind,)
 
 
 ServingRequest = Union[

@@ -4,15 +4,17 @@
 the admission queue and a leased model replica, and answers every handle:
 
 1. group handles by ``request.batch_key()`` **preserving arrival order**;
-2. a group of compatible next-hop rollouts becomes ONE call to
-   ``BIGCity.rollout_next_hops_batch`` — one right-padded KV-cached batch
-   with per-row ``position_ids``, the kernel PR 4 built;
-3. every other group (recovery, traffic prediction/imputation — and any
-   lone next-hop request) runs through the shared serial helper
+2. every group of two or more compatible requests becomes ONE model call
+   through :func:`repro.serving.execution.execute_batch` — next-hop
+   rollouts use the right-padded KV-cached decode batch (PR 4), and
+   recovery / traffic prediction / traffic imputation use the padded
+   single-pass prompt batches (``recover_trajectories_batch`` and
+   friends);
+3. groups of one run through the shared serial helper
    :func:`repro.serving.execution.execute_request`.
 
-Because ``rollout_next_hops_batch`` is pinned bit-for-bit against the
-serial rollout, a tick's results equal serial per-request execution exactly
+Because every ``*_batch`` model entry point is pinned bit-for-bit against
+its serial twin, a tick's results equal serial per-request execution exactly
 — the property ``tests/test_serving_scheduler.py`` asserts end-to-end over
 mixed traces.
 
@@ -32,8 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.serving.execution import execute_request
-from repro.serving.requests import NextHopRequest, ResultHandle
+from repro.serving.execution import execute_batch, execute_request
+from repro.serving.requests import ResultHandle
 from repro.serving.resilience import RetryPolicy, call_with_retries
 
 __all__ = ["run_tick", "TickResult"]
@@ -46,7 +48,7 @@ class TickResult:
     batch_size: int
     #: number of underlying model calls the batch was folded into.
     model_calls: int
-    #: handles answered by the folded next-hop batch call(s).
+    #: handles answered by folded batch call(s) (any request kind).
     batched_requests: int
     #: handles that ended in failure (after retries / isolation).
     failed: int = 0
@@ -101,21 +103,16 @@ def run_tick(
             handle.complete(result)
 
     for group in groups.values():
-        if isinstance(group[0].request, NextHopRequest) and len(group) > 1:
-            first = group[0].request
+        if len(group) > 1:
 
-            def batch_call(group=group, first=first):
+            def batch_call(group=group):
                 if faults is not None:
                     faults.on_model(model)
                     faults.on_batch([handle.request for handle in group])
-                return model.rollout_next_hops_batch(
-                    [handle.request.trajectory for handle in group],
-                    steps=first.steps,
-                    constrain_to_network=first.constrain_to_network,
-                )
+                return execute_batch(model, [handle.request for handle in group])
 
             try:
-                rollouts = call_with_retries(batch_call, retry_policy, on_retry=on_retry)
+                results = call_with_retries(batch_call, retry_policy, on_retry=on_retry)
             except Exception:  # noqa: BLE001 - isolate: only the poison fails
                 counters["call_errors"] += 1
                 failed_before = counters["failed"]
@@ -125,10 +122,10 @@ def run_tick(
             else:
                 counters["model_calls"] += 1
                 counters["batched"] += len(group)
-                for handle, rollout in zip(group, rollouts):
+                for handle, result in zip(group, results):
                     if faults is not None:
-                        rollout = faults.transform_result(handle.request, rollout)
-                    handle.complete(rollout)
+                        result = faults.transform_result(handle.request, result)
+                    handle.complete(result)
         else:
             for handle in group:
                 run_serially(handle)

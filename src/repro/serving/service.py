@@ -282,6 +282,7 @@ class ServingService:
             duration = time.perf_counter() - started
             self.metrics.record_tick(len(batch), depth_after, duration)
             for name, count in (
+                ("folded", tick.batched_requests),
                 ("failed", tick.failed),
                 ("retried", tick.retried),
                 ("isolated", tick.isolated),

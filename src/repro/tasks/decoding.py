@@ -30,6 +30,7 @@ __all__ = [
     "forward_hop_distances",
     "backward_hop_distances",
     "gap_candidates",
+    "open_gap_candidates",
     "constrained_recovery_choice",
 ]
 
@@ -187,6 +188,36 @@ def gap_candidates(
         backward = backward_hop_distances(network, next_segment, max_hops=budget)
         candidates &= {segment for segment, hops in backward.items() if 1 <= hops <= budget}
     candidates.discard(int(previous_segment))
+    return candidates
+
+
+def open_gap_candidates(
+    network: RoadNetwork,
+    anchor_segment: int,
+    gap_length: int,
+    before: bool,
+    slack: int = 2,
+) -> Set[int]:
+    """Feasible segments for a masked position with only ONE observed neighbour.
+
+    Used when a masked position precedes the first kept sample or follows the
+    last one, so the gap is open on one side.  With ``before=True`` the masked
+    position lies *before* the anchor and a feasible segment must reach
+    ``anchor_segment`` within ``gap_length + slack`` hops; with ``before=False``
+    it lies *after* the anchor and must be reachable *from* it.
+
+    Returns an empty set when no segment satisfies the constraint (callers
+    should then fall back to unconstrained decoding).
+    """
+    if gap_length < 1:
+        raise ValueError("gap_length must be at least 1")
+    budget = gap_length + max(slack, 0)
+    if before:
+        distances = backward_hop_distances(network, anchor_segment, max_hops=budget)
+    else:
+        distances = forward_hop_distances(network, anchor_segment, max_hops=budget)
+    candidates = {segment for segment, hops in distances.items() if 1 <= hops <= budget}
+    candidates.discard(int(anchor_segment))
     return candidates
 
 

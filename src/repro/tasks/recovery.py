@@ -21,6 +21,10 @@ from repro.tasks import metrics
 #: be used by the method; the full trajectory is passed so the method knows
 #: how many positions to fill and their timestamps.
 RecoverFn = Callable[[Trajectory, np.ndarray], np.ndarray]
+#: ``recover_batch_fn(trajectories, kept_indices_list) -> [predicted ids, ...]``
+#: — the batched form, answering every case through one padded model batch
+#: (``BIGCity.recover_trajectories_batch``).
+RecoverBatchFn = Callable[[Sequence[Trajectory], Sequence[np.ndarray]], Sequence[np.ndarray]]
 
 
 class TrajectoryRecoveryEvaluator:
@@ -55,10 +59,31 @@ class TrajectoryRecoveryEvaluator:
         return len(self.cases)
 
     def evaluate(self, recover_fn: RecoverFn) -> Dict[str, float]:
+        recovered = [recover_fn(trajectory, kept) for trajectory, kept, _ in self.cases]
+        return self._score(recovered)
+
+    def evaluate_batch(self, recover_batch_fn: RecoverBatchFn) -> Dict[str, float]:
+        """Score a batched recovery function (one model call for all cases).
+
+        Produces exactly the metrics :meth:`evaluate` produces for the
+        per-case form of the same method, since the batched model path is
+        equality-pinned against the serial one.
+        """
+        recovered = recover_batch_fn(
+            [trajectory for trajectory, _, _ in self.cases],
+            [kept for _, kept, _ in self.cases],
+        )
+        return self._score(recovered)
+
+    def _score(self, recovered_list: Sequence[np.ndarray]) -> Dict[str, float]:
+        if len(recovered_list) != len(self.cases):
+            raise ValueError(
+                f"recovery method answered {len(recovered_list)} of {len(self.cases)} cases"
+            )
         predictions: List[int] = []
         targets: List[int] = []
-        for trajectory, kept, missing in self.cases:
-            recovered = np.asarray(recover_fn(trajectory, kept), dtype=np.int64)
+        for (trajectory, kept, missing), recovered in zip(self.cases, recovered_list):
+            recovered = np.asarray(recovered, dtype=np.int64)
             if recovered.shape[0] != len(missing):
                 raise ValueError(
                     f"recovery method returned {recovered.shape[0]} segments for "

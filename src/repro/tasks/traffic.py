@@ -22,6 +22,17 @@ from repro.tasks import metrics
 PredictFn = Callable[[int, int, int, int], np.ndarray]
 #: ``impute_fn(segment_id, start_slice, num_slices, masked_positions, traffic_override) -> (len(masked), channels)``
 ImputeFn = Callable[[int, int, int, Sequence[int], Optional[np.ndarray]], np.ndarray]
+#: ``predict_batch_fn(cases) -> [(horizon, channels), ...]`` where each case is
+#: ``(segment_id, start_slice, history, horizon)`` — the batched form answering
+#: every window through one padded model batch
+#: (``BIGCity.predict_traffic_states_batch``).
+PredictBatchFn = Callable[[Sequence[Tuple[int, int, int, int]]], Sequence[np.ndarray]]
+#: ``impute_batch_fn(cases, traffic_override) -> [(len(masked), channels), ...]``
+#: where each case is ``(segment_id, start_slice, num_slices, masked_positions)``
+#: (``BIGCity.impute_traffic_states_batch``).
+ImputeBatchFn = Callable[
+    [Sequence[Tuple[int, int, int, Sequence[int]]], Optional[np.ndarray]], Sequence[np.ndarray]
+]
 
 
 class TrafficStateEvaluator:
@@ -59,14 +70,39 @@ class TrafficStateEvaluator:
     def evaluate_prediction(self, predict_fn: PredictFn, horizon: Optional[int] = None) -> Dict[str, float]:
         """Score a forecasting function at the configured (or reduced) horizon."""
         horizon = horizon or self.horizon
+        outputs = [
+            predict_fn(window.segment_id, int(window.history_slices[0]), self.history, horizon)
+            for window in self.windows
+        ]
+        return self._score_prediction(outputs, horizon)
+
+    def evaluate_prediction_batch(
+        self, predict_batch_fn: PredictBatchFn, horizon: Optional[int] = None
+    ) -> Dict[str, float]:
+        """Score a batched forecasting function (one model call for all windows).
+
+        Produces exactly the metrics :meth:`evaluate_prediction` produces for
+        the per-window form of the same method, since the batched model path
+        is equality-pinned against the serial one.
+        """
+        horizon = horizon or self.horizon
+        cases = [
+            (window.segment_id, int(window.history_slices[0]), self.history, horizon)
+            for window in self.windows
+        ]
+        return self._score_prediction(predict_batch_fn(cases), horizon)
+
+    def _score_prediction(self, outputs: Sequence[np.ndarray], horizon: int) -> Dict[str, float]:
         if horizon > self.horizon:
             raise ValueError("cannot evaluate beyond the prepared horizon")
+        if len(outputs) != len(self.windows):
+            raise ValueError(
+                f"prediction method answered {len(outputs)} of {len(self.windows)} windows"
+            )
         predictions: List[np.ndarray] = []
         targets: List[np.ndarray] = []
-        for window in self.windows:
-            start = int(window.history_slices[0])
-            output = np.asarray(predict_fn(window.segment_id, start, self.history, horizon), dtype=np.float64)
-            output = np.atleast_2d(output)
+        for window, output in zip(self.windows, outputs):
+            output = np.atleast_2d(np.asarray(output, dtype=np.float64))
             if output.shape[0] < horizon:
                 raise ValueError("prediction function returned fewer steps than requested")
             predictions.append(output[:horizon, self.speed_index])
@@ -121,11 +157,41 @@ class TrafficStateEvaluator:
         """Score an imputation function on freshly sampled cases."""
         cases = self.imputation_cases(mask_ratio, sequence_length, max_cases)
         override = self.masked_traffic_values(cases)
+        outputs = [
+            impute_fn(segment, start, length, masked, override)
+            for segment, start, length, masked in cases
+        ]
+        return self._score_imputation(cases, outputs)
+
+    def evaluate_imputation_batch(
+        self,
+        impute_batch_fn: ImputeBatchFn,
+        mask_ratio: float = 0.25,
+        sequence_length: int = 12,
+        max_cases: int = 32,
+    ) -> Dict[str, float]:
+        """Score a batched imputation function (one model call for all cases).
+
+        Cases are drawn from the evaluator's RNG exactly as in
+        :meth:`evaluate_imputation`, so two evaluators constructed with the
+        same seed produce identical cases (and — with an equality-pinned
+        batched model path — identical metrics) across the two forms.
+        """
+        cases = self.imputation_cases(mask_ratio, sequence_length, max_cases)
+        override = self.masked_traffic_values(cases)
+        return self._score_imputation(cases, impute_batch_fn(cases, override))
+
+    def _score_imputation(
+        self,
+        cases: Sequence[Tuple[int, int, int, np.ndarray]],
+        outputs: Sequence[np.ndarray],
+    ) -> Dict[str, float]:
+        if len(outputs) != len(cases):
+            raise ValueError(f"imputation method answered {len(outputs)} of {len(cases)} cases")
         predictions: List[np.ndarray] = []
         targets: List[np.ndarray] = []
-        for segment, start, length, masked in cases:
-            output = np.asarray(impute_fn(segment, start, length, masked, override), dtype=np.float64)
-            output = np.atleast_2d(output)
+        for (segment, start, length, masked), output in zip(cases, outputs):
+            output = np.atleast_2d(np.asarray(output, dtype=np.float64))
             if output.shape[0] != len(masked):
                 raise ValueError("imputation function returned the wrong number of rows")
             predictions.append(output[:, self.speed_index])

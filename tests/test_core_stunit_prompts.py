@@ -188,9 +188,24 @@ class TestPromptBuilder:
         # Targets follow ascending masked position order.
         assert prompt.classification_targets[0] == int(sequence.segment_ids[1])
 
-    def test_recovery_requires_known_endpoints(self, builder):
+    def test_recovery_allows_masked_endpoints(self, builder):
+        # Endpoints need not be kept: the anchor falls back to the nearest
+        # kept neighbour on the open side.
+        sequence = _sequence(6)
+        prompt = builder.recovery(sequence, kept_indices=[1, 3])
+        assert set(prompt.mask_positions) == {0, 2, 4, 5}
+        # Position 0 anchors on the first kept sample (index 1); positions
+        # after the last kept sample anchor on it (index 3).
+        assert prompt.anchors[0].segment_id == int(sequence.segment_ids[1])
+        assert prompt.anchors[-1].segment_id == int(sequence.segment_ids[3])
+
+    def test_recovery_validates_kept_indices(self, builder):
         with pytest.raises(ValueError):
-            builder.recovery(_sequence(6), kept_indices=[1, 3])
+            builder.recovery(_sequence(6), kept_indices=[])
+        with pytest.raises(ValueError):
+            builder.recovery(_sequence(6), kept_indices=[0, 6])
+        with pytest.raises(ValueError):
+            builder.recovery(_sequence(6), kept_indices=[-1, 3])
 
     def test_traffic_prediction_prompt(self, builder, tiny_dataset):
         history = traffic_series_to_units(tiny_dataset.traffic_states, 1, 0, 6)

@@ -87,10 +87,9 @@ class TestServingEquality:
         good = [t for t in tiny_dataset.test_trajectories if len(t) >= 4][0]
         handles = [
             ResultHandle(request=NextHopRequest(trajectory=good, steps=2)),
-            # recovery with kept indices that leave no surrounding
-            # observations raises inside the model; the error must land on
-            # this handle only.
-            ResultHandle(request=RecoveryRequest(trajectory=good, kept_indices=(0,))),
+            # recovery with no kept indices at all raises inside the model;
+            # the error must land on this handle only.
+            ResultHandle(request=RecoveryRequest(trajectory=good, kept_indices=())),
         ]
         run_tick(trained_model, handles)
         assert all(handle.done() for handle in handles)
